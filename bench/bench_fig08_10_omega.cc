@@ -1,0 +1,49 @@
+// Figures 8-10: F-measure vs the improvement threshold omega, under
+// EarlyDisjuncts and LateDisjuncts, one series per Retail target schema
+// (Ryan_Eyers, Aaron_Day, Barrett_Arney).
+//
+// Expected shape (paper Section 5.1): both policies exhibit a plateau of
+// near-optimal omega values (omega*); EarlyDisjuncts' plateau is clearly
+// wider, i.e., LateDisjuncts is more sensitive to omega.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(5);
+  const double omegas[] = {0.0,  0.025, 0.05, 0.075, 0.1, 0.125,
+                           0.15, 0.2,   0.25, 0.3,   0.4, 0.5};
+
+  for (RetailTarget target : {RetailTarget::kRyanEyers,
+                              RetailTarget::kAaronDay,
+                              RetailTarget::kBarrettArney}) {
+    ResultTable table(
+        std::string("Fig 8-10: FMeasure vs omega, target ") +
+            RetailTargetToString(target),
+        {"omega", "F_early", "F_late"});
+    for (double omega : omegas) {
+      RetailOptions data = DefaultRetail();
+      data.target = target;
+      ContextMatchOptions early = DefaultMatch();
+      early.omega = omega;
+      early.early_disjuncts = true;
+      ContextMatchOptions late = early;
+      late.early_disjuncts = false;
+      AggregatedMetrics early_metrics =
+          RunRepeated(reps, 100, [&](uint64_t seed) {
+            return RetailTrial(data, early, seed);
+          });
+      AggregatedMetrics late_metrics =
+          RunRepeated(reps, 100, [&](uint64_t seed) {
+            return RetailTrial(data, late, seed);
+          });
+      table.AddRow({ResultTable::Num(omega),
+                    ResultTable::Num(early_metrics.Mean("fmeasure")),
+                    ResultTable::Num(late_metrics.Mean("fmeasure"))});
+    }
+    table.Print();
+  }
+  return 0;
+}

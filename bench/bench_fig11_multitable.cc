@@ -1,0 +1,41 @@
+// Figure 11: MultiTable vs QualTable F-measure (NaiveInfer for
+// InferCandidateViews), one row per Retail target schema.
+//
+// Expected shape (Section 5.2): MultiTable consistently performs
+// significantly worse than QualTable.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(5);
+  ResultTable table("Fig 11: MultiTable vs QualTable (NaiveInfer)",
+                    {"target", "F_qualtable", "F_multitable", "gap"});
+  for (RetailTarget target : {RetailTarget::kRyanEyers,
+                              RetailTarget::kAaronDay,
+                              RetailTarget::kBarrettArney}) {
+    RetailOptions data = DefaultRetail();
+    data.target = target;
+    ContextMatchOptions qual = DefaultMatch();
+    qual.inference = ViewInferenceKind::kNaive;
+    qual.selection = SelectionPolicy::kQualTable;
+    ContextMatchOptions multi = qual;
+    multi.selection = SelectionPolicy::kMultiTable;
+    AggregatedMetrics qual_metrics =
+        RunRepeated(reps, 200, [&](uint64_t seed) {
+          return RetailTrial(data, qual, seed);
+        });
+    AggregatedMetrics multi_metrics =
+        RunRepeated(reps, 200, [&](uint64_t seed) {
+          return RetailTrial(data, multi, seed);
+        });
+    double fq = qual_metrics.Mean("fmeasure");
+    double fm = multi_metrics.Mean("fmeasure");
+    table.AddRow({RetailTargetToString(target), ResultTable::Num(fq),
+                  ResultTable::Num(fm), ResultTable::Num(fq - fm)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 13: same setup as Figure 12 but under LateDisjuncts.
+//
+// Expected shape (Section 5.3): F-measure degrades much more quickly with
+// rho than under EarlyDisjuncts (compare bench_fig12_correlated_early).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(5);
+  ResultTable table("Fig 13: FMeasure vs rho (LateDisjuncts)",
+                    {"rho", "F_naive", "F_src", "F_tgt"});
+  for (double rho : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99}) {
+    RetailOptions data = DefaultRetail();
+    data.correlated_attributes = 3;
+    data.rho = rho;
+    std::vector<std::string> row = {ResultTable::Num(rho, 2)};
+    for (ViewInferenceKind kind : {ViewInferenceKind::kNaive,
+                                   ViewInferenceKind::kSrcClass,
+                                   ViewInferenceKind::kTgtClass}) {
+      ContextMatchOptions options = DefaultMatch();
+      options.inference = kind;
+      options.early_disjuncts = false;
+      AggregatedMetrics metrics = RunRepeated(reps, 400, [&](uint64_t seed) {
+        return RetailTrial(data, options, seed);
+      });
+      row.push_back(ResultTable::Num(metrics.Mean("fmeasure")));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 14: F-measure vs the ItemType cardinality gamma under
+// LateDisjuncts, target Ryan_Eyers, for NaiveInfer / SrcClassInfer /
+// TgtClassInfer.
+//
+// Expected shape (Section 5.4): LateDisjuncts' F-measure degrades as gamma
+// grows (each per-value view must clear omega on its own and the union is
+// increasingly fragmented), while EarlyDisjuncts (shown for reference)
+// stays roughly constant.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(5);
+  ResultTable table(
+      "Fig 14: FMeasure vs gamma (LateDisjuncts, Ryan_Eyers)",
+      {"gamma", "F_naive_late", "F_src_late", "F_tgt_late", "F_src_early"});
+  for (size_t gamma : {2u, 4u, 6u, 8u, 10u}) {
+    RetailOptions data = DefaultRetail();
+    data.gamma = gamma;
+    std::vector<std::string> row = {std::to_string(gamma)};
+    for (ViewInferenceKind kind : {ViewInferenceKind::kNaive,
+                                   ViewInferenceKind::kSrcClass,
+                                   ViewInferenceKind::kTgtClass}) {
+      ContextMatchOptions options = DefaultMatch();
+      options.inference = kind;
+      options.early_disjuncts = false;
+      AggregatedMetrics metrics = RunRepeated(reps, 500, [&](uint64_t seed) {
+        return RetailTrial(data, options, seed);
+      });
+      row.push_back(ResultTable::Num(metrics.Mean("fmeasure")));
+    }
+    // Reference series: EarlyDisjuncts with SrcClassInfer.
+    ContextMatchOptions early = DefaultMatch();
+    early.early_disjuncts = true;
+    AggregatedMetrics early_metrics =
+        RunRepeated(reps, 500, [&](uint64_t seed) {
+          return RetailTrial(data, early, seed);
+        });
+    row.push_back(ResultTable::Num(early_metrics.Mean("fmeasure")));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 16: F-measure vs schema size (n added noise attributes per table,
+// plus n/4 extra ItemType-domain categorical attributes on the source), for
+// gamma in {2, 4, 8}, target Ryan_Eyers, SrcClassInfer + EarlyDisjuncts.
+//
+// Expected shape (Section 5.5): accuracy erodes as the schema grows — extra
+// non-categorical attributes first cause mismatches, extra categorical
+// attributes then produce spurious candidate views — and larger gamma makes
+// each candidate view smaller and noisier.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(3);
+  ResultTable table(
+      "Fig 16: FMeasure vs schema size (SrcClassInfer, EarlyDisjuncts)",
+      {"extra_attrs", "F_gamma2", "F_gamma4", "F_gamma8"});
+  for (size_t n : {0u, 4u, 8u, 12u, 16u}) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (size_t gamma : {2u, 4u, 8u}) {
+      RetailOptions data = DefaultRetail();
+      data.num_items = 200;
+      data.gamma = gamma;
+      data.extra_noncategorical = n;
+      data.extra_categorical = n / 4;
+      ContextMatchOptions options = DefaultMatch();
+      AggregatedMetrics metrics = RunRepeated(reps, 700, [&](uint64_t seed) {
+        return RetailTrial(data, options, seed);
+      });
+      row.push_back(ResultTable::Num(metrics.Mean("fmeasure")));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 18: accuracy vs sample size (number of tuples in the source
+// inventory table), TgtClassInfer.
+//
+// Expected shape (Section 5.6): with few tuples InferCandidateViews often
+// misses the correct candidate views; accuracy climbs as the sample grows.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(5);
+  ResultTable table("Fig 18: accuracy vs sample size (TgtClassInfer)",
+                    {"tuples", "accuracy", "fmeasure", "precision"});
+  for (size_t n : {25u, 50u, 100u, 200u, 400u, 800u}) {
+    RetailOptions data = DefaultRetail();
+    data.num_items = n;
+    ContextMatchOptions options = DefaultMatch();
+    options.inference = ViewInferenceKind::kTgtClass;
+    AggregatedMetrics metrics = RunRepeated(reps, 900, [&](uint64_t seed) {
+      return RetailTrial(data, options, seed);
+    });
+    table.AddRow({std::to_string(n),
+                  ResultTable::Num(metrics.Mean("accuracy")),
+                  ResultTable::Num(metrics.Mean("fmeasure")),
+                  ResultTable::Num(metrics.Mean("precision"))});
+  }
+  table.Print();
+  return 0;
+}

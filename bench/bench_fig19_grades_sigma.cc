@@ -1,0 +1,38 @@
+// Figure 19: Grades (attribute normalization) accuracy vs the per-exam
+// standard deviation sigma, for NaiveInfer / SrcClassInfer / TgtClassInfer
+// with ClioQualTable (QualTable + the Section 4.3 join rules; the join-rule
+// machinery is exercised end-to-end in examples/attribute_normalization and
+// the integration tests — the accuracy metric here follows Section 5's
+// match-level definition).
+//
+// Expected shape (Section 5.7): high accuracy for low sigma, decaying as
+// sigma grows and neighboring exams' score distributions overlap.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(5);
+  ResultTable table("Fig 19: Grades accuracy vs sigma (ClioQualTable)",
+                    {"sigma", "F_naive", "F_src", "F_tgt"});
+  for (double sigma : {1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0}) {
+    GradesOptions data;
+    data.sigma = sigma;
+    std::vector<std::string> row = {ResultTable::Num(sigma, 1)};
+    for (ViewInferenceKind kind : {ViewInferenceKind::kNaive,
+                                   ViewInferenceKind::kSrcClass,
+                                   ViewInferenceKind::kTgtClass}) {
+      ContextMatchOptions options = DefaultGradesMatch();
+      options.inference = kind;
+      AggregatedMetrics metrics = RunRepeated(reps, 1000, [&](uint64_t seed) {
+        return GradesTrial(data, options, seed);
+      });
+      row.push_back(ResultTable::Num(metrics.Mean("fmeasure")));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 20: Inventory (Retail) quality vs the StandardMatch pruning
+// threshold tau.
+//
+// Expected shape (Section 5.8): accuracy holds over a band of moderate tau
+// values — the inventory base table matches both target tables confidently
+// even before splitting — with precision loss below the band (junk pairs
+// enter M) and recall loss above it (correct pairs are pruned before their
+// conditional versions can be scored: the false-negative effect).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(5);
+  ResultTable table("Fig 20: Retail quality vs tau",
+                    {"tau", "fmeasure", "accuracy", "precision"});
+  for (double tau : {0.30, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.80}) {
+    RetailOptions data = DefaultRetail();
+    ContextMatchOptions options = DefaultMatch();
+    options.tau = tau;
+    AggregatedMetrics metrics = RunRepeated(reps, 1100, [&](uint64_t seed) {
+      return RetailTrial(data, options, seed);
+    });
+    table.AddRow({ResultTable::Num(tau, 2),
+                  ResultTable::Num(metrics.Mean("fmeasure")),
+                  ResultTable::Num(metrics.Mean("accuracy")),
+                  ResultTable::Num(metrics.Mean("precision"))});
+  }
+  table.Print();
+  return 0;
+}

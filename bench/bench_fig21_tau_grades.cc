@@ -1,0 +1,33 @@
+// Figure 21: Grades quality vs tau.
+//
+// Expected shape (Section 5.8): the base matches between grades_narrow and
+// grades_wide are more tenuous than Retail's, so raising tau past a
+// breaking point collapses accuracy — the per-exam views are never even
+// considered once their base matches are pruned.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(5);
+  ResultTable table("Fig 21: Grades quality vs tau",
+                    {"tau", "fmeasure", "accuracy", "precision"});
+  for (double tau : {0.30, 0.40, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80,
+                     0.90}) {
+    GradesOptions data;
+    data.sigma = 5.0;
+    ContextMatchOptions options = DefaultGradesMatch();
+    options.tau = tau;
+    AggregatedMetrics metrics = RunRepeated(reps, 1200, [&](uint64_t seed) {
+      return GradesTrial(data, options, seed);
+    });
+    table.AddRow({ResultTable::Num(tau, 2),
+                  ResultTable::Num(metrics.Mean("fmeasure")),
+                  ResultTable::Num(metrics.Mean("accuracy")),
+                  ResultTable::Num(metrics.Mean("precision"))});
+  }
+  table.Print();
+  return 0;
+}

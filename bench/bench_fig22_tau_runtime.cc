@@ -1,0 +1,32 @@
+// Figure 22: total ContextMatch runtime vs tau on the Retail data set.
+//
+// Expected shape (Section 5.8): runtime decreases as tau increases (fewer
+// accepted matches to rescore against each candidate view), but the effect
+// is modest compared to the total runtime.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const size_t reps = BenchRepetitions(3);
+  ResultTable table("Fig 22: Retail runtime vs tau",
+                    {"tau", "seconds", "relative_to_tau_0.3"});
+  double baseline = 0.0;
+  for (double tau : {0.30, 0.40, 0.50, 0.60, 0.70, 0.80}) {
+    RetailOptions data = DefaultRetail();
+    ContextMatchOptions options = DefaultMatch();
+    options.tau = tau;
+    AggregatedMetrics metrics = RunRepeated(reps, 1300, [&](uint64_t seed) {
+      return RetailTrial(data, options, seed);
+    });
+    double seconds = metrics.Mean("match_seconds");
+    if (baseline == 0.0) baseline = seconds;
+    table.AddRow({ResultTable::Num(tau, 2), ResultTable::Num(seconds),
+                  ResultTable::Num(baseline > 0 ? seconds / baseline : 0.0,
+                                   2)});
+  }
+  table.Print();
+  return 0;
+}

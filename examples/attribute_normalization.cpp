@@ -1,0 +1,76 @@
+// Attribute normalization end-to-end (Examples 1.2 / 4.3, Section 5.7).
+//
+// Source grades_narrow(name, examNum, grade) stores one row per (student,
+// exam); target grades_wide(name, grade1..grade5) promotes examNum values
+// to attributes.  The pipeline: ContextMatch infers one view per examNum
+// value and matches each view's grade to the right target column; the
+// mapping layer mines keys, derives contextual foreign keys via the
+// propagation rules, groups the views with join rule (join 1) and emits an
+// executable mapping query which we then run.
+//
+// Build & run:  ./build/examples/attribute_normalization
+
+#include <cstdio>
+
+#include "datagen/grades_gen.h"
+#include "mapping/clio.h"
+
+int main() {
+  using namespace csm;
+
+  GradesOptions data_options;
+  data_options.num_students = 60;
+  data_options.sigma = 4.0;
+  data_options.seed = 21;
+  GradesDataset data = MakeGradesDataset(data_options);
+
+  std::printf("Source sample:\n%s\n",
+              data.source.GetTable("grades_narrow").ToString(6).c_str());
+  std::printf("Target schema: %s\n\n",
+              data.target.GetTable("grades_wide").schema().ToString().c_str());
+
+  ContextMatchOptions options;
+  options.tau = 0.45;
+  options.omega = 0.025;
+  options.inference = ViewInferenceKind::kSrcClass;
+  options.early_disjuncts = false;  // one view per exam must survive
+  options.seed = 22;
+
+  ClioQualTableResult result = ClioQualTable(data.source, data.target, options);
+
+  std::printf("-- contextual matches --\n");
+  for (const Match& m : result.match_result.matches) {
+    std::printf("  %s\n", m.ToString().c_str());
+  }
+
+  std::printf("\n-- constraints (mined + propagated) --\n");
+  for (const auto& key : result.mapping.constraints.keys) {
+    std::printf("  %s\n", key.ToString().c_str());
+  }
+  for (const auto& cfk : result.mapping.constraints.contextual_foreign_keys) {
+    std::printf("  %s\n", cfk.ToString().c_str());
+  }
+
+  std::printf("\n-- mapping queries --\n");
+  for (const MappingQuery& query : result.mapping.queries) {
+    std::printf("%s\n\n%s\n\n", query.logical.ToString().c_str(),
+                query.ToSql(result.mapping.views).c_str());
+  }
+
+  auto executed = ExecuteMappings(result.mapping.queries, data.source,
+                                  result.mapping.views,
+                                  data.target.GetSchema());
+  if (!executed.ok()) {
+    std::printf("execution failed: %s\n",
+                executed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- executed mapping (grades_wide) --\n%s\n",
+              executed->GetTable("grades_wide").ToString(8).c_str());
+
+  MatchQuality quality =
+      EvaluateMatches(data.truth, result.match_result.matches);
+  std::printf("accuracy %.3f  precision %.3f  f-measure %.3f\n",
+              quality.accuracy, quality.precision, quality.fmeasure);
+  return 0;
+}

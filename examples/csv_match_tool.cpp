@@ -1,0 +1,200 @@
+// Command-line contextual schema matcher over CSV files — the "downstream
+// user" entry point: point it at two directories of CSVs (one table per
+// file, header row, types inferred) and it prints the contextual matches.
+//
+// Usage:
+//   csv_match_tool SOURCE_DIR TARGET_DIR [options]
+// Options:
+//   --tau=F          StandardMatch confidence threshold   (default 0.5)
+//   --omega=F        view improvement threshold           (default 0.1)
+//   --infer=KIND     naive | src | tgt                    (default src)
+//   --select=POLICY  qualtable | multitable               (default qualtable)
+//   --late           LateDisjuncts (default EarlyDisjuncts)
+//   --stages=N       conjunctive condition stages         (default 1)
+//   --target-views   also search for conditions on the target tables
+//   --seed=N         RNG seed                             (default 1)
+//
+// Demo (no arguments): generates the Retail data set into a temp directory
+// and matches it, so the tool is runnable out of the box.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/context_match.h"
+#include "core/target_context.h"
+#include "datagen/retail_gen.h"
+#include "relational/csv.h"
+
+namespace {
+
+using namespace csm;
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+StatusOr<Database> LoadDirectory(const std::string& dir,
+                                 const std::string& db_name) {
+  namespace fs = std::filesystem;
+  Database db(db_name);
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".csv") files.push_back(entry.path());
+  }
+  if (ec) return Status::IoError("cannot list directory: " + dir);
+  if (files.empty()) {
+    return Status::NotFound("no .csv files in " + dir);
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    CSM_ASSIGN_OR_RETURN(Table table,
+                         ReadCsvFileInferred(path.stem().string(),
+                                             path.string()));
+    std::printf("loaded %-24s %5zu rows  %s\n", path.filename().c_str(),
+                table.num_rows(), table.schema().ToString().c_str());
+    db.AddTable(std::move(table));
+  }
+  return db;
+}
+
+int WriteDemoData(const std::string& src_dir, const std::string& tgt_dir) {
+  RetailOptions options;
+  options.num_items = 300;
+  options.gamma = 2;
+  options.seed = 7;
+  RetailDataset data = MakeRetailDataset(options);
+  std::filesystem::create_directories(src_dir);
+  std::filesystem::create_directories(tgt_dir);
+  for (const Table& t : data.source.tables()) {
+    if (!WriteCsvFile(t, src_dir + "/" + t.name() + ".csv").ok()) return 1;
+  }
+  for (const Table& t : data.target.tables()) {
+    if (!WriteCsvFile(t, tgt_dir + "/" + t.name() + ".csv").ok()) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source_dir, target_dir;
+  ContextMatchOptions options;
+  options.omega = 0.1;
+  size_t stages = 1;
+  bool target_views = false;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (ParseFlag(arg, "tau", &value)) {
+      options.tau = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "omega", &value)) {
+      options.omega = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "stages", &value)) {
+      stages = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "infer", &value)) {
+      if (value == "naive") options.inference = ViewInferenceKind::kNaive;
+      else if (value == "src") options.inference = ViewInferenceKind::kSrcClass;
+      else if (value == "tgt") options.inference = ViewInferenceKind::kTgtClass;
+      else {
+        std::fprintf(stderr, "unknown --infer value '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(arg, "select", &value)) {
+      if (value == "qualtable") {
+        options.selection = SelectionPolicy::kQualTable;
+      } else if (value == "multitable") {
+        options.selection = SelectionPolicy::kMultiTable;
+      } else {
+        std::fprintf(stderr, "unknown --select value '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (arg == "--late") {
+      options.early_disjuncts = false;
+    } else if (arg == "--target-views") {
+      target_views = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (positional.empty()) {
+    // Demo mode: generate retail CSVs into a temp workspace.
+    std::string base = std::filesystem::temp_directory_path() /
+                       "csm_demo";
+    source_dir = base + "/source";
+    target_dir = base + "/target";
+    std::printf("demo mode: writing Retail CSVs under %s\n\n", base.c_str());
+    if (WriteDemoData(source_dir, target_dir) != 0) {
+      std::fprintf(stderr, "failed to write demo data\n");
+      return 1;
+    }
+  } else if (positional.size() == 2) {
+    source_dir = positional[0];
+    target_dir = positional[1];
+  } else {
+    std::fprintf(stderr, "usage: %s SOURCE_DIR TARGET_DIR [options]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto source = LoadDirectory(source_dir, "source");
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto target = LoadDirectory(target_dir, "target");
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nrunning ContextMatch: tau=%.2f omega=%.3f infer=%s "
+              "select=%s %s stages=%zu\n\n",
+              options.tau, options.omega,
+              ViewInferenceKindToString(options.inference),
+              SelectionPolicyToString(options.selection),
+              options.early_disjuncts ? "EarlyDisjuncts" : "LateDisjuncts",
+              stages);
+
+  ContextMatchResult result =
+      ConjunctiveContextMatch(*source, *target, options, stages);
+  std::printf("-- selected views (%zu of %zu candidates) --\n",
+              result.selected_views.size(),
+              result.pool.candidate_views.size());
+  for (const View& v : result.selected_views) {
+    std::printf("  %s\n", v.ToString().c_str());
+  }
+  std::printf("-- matches --\n");
+  for (const Match& m : result.matches) {
+    std::printf("  %s\n", m.ToString().c_str());
+  }
+  std::printf("(%zu matches, %.3fs total)\n", result.matches.size(),
+              result.TotalSeconds());
+
+  if (target_views) {
+    std::printf("\n-- target-side contextual matching --\n");
+    TargetContextMatchResult reversed =
+        TargetContextMatch(*source, *target, options);
+    for (const View& v : reversed.selected_target_views) {
+      std::printf("  target view: %s\n", v.ToString().c_str());
+    }
+    for (const Match& m : reversed.matches) {
+      std::printf("  %s\n", m.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart (Example 1.1 of the paper): a combined retail inventory table
+// whose `ItemType` column tags rows as books or CDs, matched against a
+// target schema that stores books and music in separate tables.  A standard
+// matcher returns ambiguous matches; ContextMatch annotates them with the
+// selection conditions that disambiguate them.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/context_match.h"
+#include "datagen/retail_gen.h"
+
+int main() {
+  using namespace csm;
+
+  // Generate the Retail data set: source "inventory" with gamma = 2
+  // (ItemType in {Book1, CD1}), target Ryan_Eyers-style Book/Music tables.
+  RetailOptions data_options;
+  data_options.num_items = 300;
+  data_options.gamma = 2;
+  data_options.seed = 7;
+  RetailDataset data = MakeRetailDataset(data_options);
+
+  const Schema source_schema = data.source.GetSchema();
+  const Schema target_schema = data.target.GetSchema();
+  std::printf("Source schema: %s\n", source_schema.tables()[0].ToString().c_str());
+  for (const auto& table : target_schema.tables()) {
+    std::printf("Target schema: %s\n", table.ToString().c_str());
+  }
+
+  // 1) What a standard (non-contextual) matcher produces: every inventory
+  // attribute matches *both* target tables — ambiguous.
+  MatchList standard = StandardMatch(data.source.GetTable("inventory"),
+                                     data.target, /*tau=*/0.5);
+  std::printf("\n-- standard matches (tau = 0.5) --\n");
+  for (const Match& m : standard) {
+    std::printf("  %s\n", m.ToString().c_str());
+  }
+
+  // 2) Contextual matching: SrcClassInfer + QualTable + EarlyDisjuncts.
+  ContextMatchOptions options;
+  options.tau = 0.5;
+  options.omega = 0.1;
+  options.inference = ViewInferenceKind::kSrcClass;
+  options.selection = SelectionPolicy::kQualTable;
+  options.early_disjuncts = true;
+  options.seed = 42;
+
+  ContextMatchResult result = ContextMatch(data.source, data.target, options);
+
+  std::printf("\n-- candidate views considered: %zu --\n",
+              result.pool.candidate_views.size());
+  std::printf("-- selected views --\n");
+  for (const View& view : result.selected_views) {
+    std::printf("  %s\n", view.ToString().c_str());
+  }
+  std::printf("-- contextual matches --\n");
+  for (const Match& m : result.matches) {
+    std::printf("  %s\n", m.ToString().c_str());
+  }
+
+  // 3) Score against the designated-correct matches.
+  MatchQuality quality = EvaluateMatches(data.truth, result.matches);
+  std::printf(
+      "\naccuracy %.3f  precision %.3f  f-measure %.3f  "
+      "(%zu view matches, %zu correct)\n",
+      quality.accuracy, quality.precision, quality.fmeasure,
+      quality.view_matches, quality.correct_matches);
+  std::printf("total time %.3fs (standard %.3f, infer %.3f, score %.3f)\n",
+              result.TotalSeconds(), result.standard_match_seconds,
+              result.inference_seconds, result.scoring_seconds);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Minimal CHECK-style assertion macros.
+//
+// CHECK* macros abort on failure in all build modes; they guard invariants
+// whose violation indicates a programming error (recoverable errors go
+// through csm::Status instead).
+
+#ifndef CSM_COMMON_LOGGING_H_
+#define CSM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace csm {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace csm
+
+#define CSM_CHECK(condition)                                             \
+  if (!(condition))                                                      \
+  ::csm::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)  \
+      .stream()
+
+#define CSM_CHECK_EQ(a, b) CSM_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_CHECK_NE(a, b) CSM_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_CHECK_LT(a, b) CSM_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_CHECK_LE(a, b) CSM_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_CHECK_GT(a, b) CSM_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_CHECK_GE(a, b) CSM_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+/// Checks that a csm::Status or csm::StatusOr expression is OK.
+#define CSM_CHECK_OK(expr)                               \
+  do {                                                   \
+    const auto& csm_check_ok_ = (expr);                  \
+    CSM_CHECK(csm_check_ok_.ok());                       \
+  } while (false)
+
+#endif  // CSM_COMMON_LOGGING_H_

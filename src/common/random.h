@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit 64-bit seed so
+// experiments are reproducible; Rng wraps the splitmix64/xoshiro256**
+// generators with the distribution helpers the matchers and data generators
+// need.
+
+#ifndef CSM_COMMON_RANDOM_H_
+#define CSM_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace csm {
+
+/// A small, fast, deterministic PRNG (xoshiro256**) seeded via splitmix64.
+/// Not cryptographically secure; intended for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound).  Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal deviate (Box-Muller, no caching).
+  double NextGaussian();
+
+  /// Normal deviate with given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Index drawn from the discrete distribution proportional to `weights`.
+  /// Requires a non-empty vector with a positive sum.
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Returns a derived RNG; useful to give each sub-component an
+  /// independent but reproducible stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_RANDOM_H_

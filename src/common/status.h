@@ -1,0 +1,137 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// The library does not use C++ exceptions across API boundaries (see
+// DESIGN.md, Conventions).  Fallible operations return csm::Status or
+// csm::StatusOr<T>; invariant violations use the CHECK macros from
+// common/logging.h.
+
+#ifndef CSM_COMMON_STATUS_H_
+#define CSM_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace csm {
+
+/// Canonical error codes, a small subset of the usual gRPC-style set.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIoError = 8,
+};
+
+/// Returns the canonical spelling of a status code ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail: a code plus a human-readable
+/// message.  Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status.  Never holds both.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from Status so `return Status::NotFound(...)` works.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+  /// Implicit from T so `return value;` works.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().  Checked in debug builds via the optional.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace csm
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define CSM_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::csm::Status csm_status_tmp_ = (expr);         \
+    if (!csm_status_tmp_.ok()) return csm_status_tmp_; \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define CSM_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto CSM_CONCAT_(csm_sor_, __LINE__) = (expr);   \
+  if (!CSM_CONCAT_(csm_sor_, __LINE__).ok())       \
+    return CSM_CONCAT_(csm_sor_, __LINE__).status(); \
+  lhs = std::move(CSM_CONCAT_(csm_sor_, __LINE__)).value()
+
+#define CSM_CONCAT_INNER_(a, b) a##b
+#define CSM_CONCAT_(a, b) CSM_CONCAT_INNER_(a, b)
+
+#endif  // CSM_COMMON_STATUS_H_

@@ -1,0 +1,242 @@
+#include "core/clustered_view_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "ml/evaluation.h"
+#include "relational/categorical.h"
+#include "relational/sample.h"
+#include "stats/significance.h"
+
+namespace csm {
+namespace {
+
+/// Tracks the current grouping of label values; a "group" becomes one view
+/// of the family (a disjunct after merges).
+class LabelGrouping {
+ public:
+  explicit LabelGrouping(const std::map<Value, size_t>& value_counts) {
+    for (const auto& [value, count] : value_counts) {
+      groups_.push_back({value});
+    }
+  }
+
+  size_t num_groups() const { return groups_.size(); }
+
+  /// The group token (classifier label) for a label value; "" if unknown.
+  std::string TokenFor(const Value& value) const {
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      for (const Value& member : groups_[g]) {
+        if (member == value) return Token(g);
+      }
+    }
+    return "";
+  }
+
+  /// Canonical token of group `g`: member strings joined by '\x1f'.
+  std::string Token(size_t g) const {
+    std::string out;
+    for (const Value& member : groups_[g]) {
+      if (!out.empty()) out += '\x1f';
+      out += member.ToString();
+    }
+    return out;
+  }
+
+  /// Merges the groups whose tokens are `a` and `b`; returns false if
+  /// either token is unknown or they are the same group.
+  bool MergeByTokens(const std::string& a, const std::string& b) {
+    int ga = -1, gb = -1;
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      if (Token(g) == a) ga = static_cast<int>(g);
+      if (Token(g) == b) gb = static_cast<int>(g);
+    }
+    if (ga < 0 || gb < 0 || ga == gb) return false;
+    auto& dst = groups_[static_cast<size_t>(std::min(ga, gb))];
+    auto& src = groups_[static_cast<size_t>(std::max(ga, gb))];
+    dst.insert(dst.end(), src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
+    groups_.erase(groups_.begin() + std::max(ga, gb));
+    return true;
+  }
+
+  const std::vector<std::vector<Value>>& groups() const { return groups_; }
+
+  /// Canonical serialization of the whole partition (dedup key).
+  std::string PartitionKey() const {
+    std::vector<std::string> tokens;
+    tokens.reserve(groups_.size());
+    for (size_t g = 0; g < groups_.size(); ++g) tokens.push_back(Token(g));
+    std::sort(tokens.begin(), tokens.end());
+    std::string out;
+    for (const auto& token : tokens) {
+      out += token;
+      out += '\x1e';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<Value>> groups_;
+};
+
+/// Builds the view family for a grouping of label attribute `l` on `table`.
+ViewFamily FamilyFromGrouping(const Table& table, const std::string& l,
+                              const LabelGrouping& grouping) {
+  ViewFamily family;
+  family.base_table = table.name();
+  family.label_attribute = l;
+  for (const auto& group : grouping.groups()) {
+    std::string view_name = table.name() + "[" + l + "=";
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (i > 0) view_name += "|";
+      view_name += group[i].ToString();
+    }
+    view_name += "]";
+    family.views.emplace_back(view_name, table.name(),
+                              Condition::In(l, group));
+  }
+  return family;
+}
+
+struct TrainTestOutcome {
+  ClassifierEvaluation eval;
+  double most_common_fraction = 0.0;
+  size_t train_count = 0;
+};
+
+/// One doTraining + doTesting cycle for (h, l) under `grouping`.
+TrainTestOutcome RunCycle(const TrainTestSplit& split, size_t h_col,
+                          size_t l_col, const LabelGrouping& grouping,
+                          const ClassifierFactory& factory,
+                          ValueType h_type) {
+  TrainTestOutcome out;
+  std::unique_ptr<ValueClassifier> classifier = factory(h_type);
+  CSM_CHECK(classifier != nullptr);
+
+  std::map<std::string, size_t> train_label_counts;
+  for (const Row& row : split.train.rows()) {
+    const Value& h_value = row[h_col];
+    const Value& l_value = row[l_col];
+    if (h_value.is_null() || l_value.is_null()) continue;
+    std::string token = grouping.TokenFor(l_value);
+    if (token.empty()) continue;  // value unseen when grouping was formed
+    classifier->Train(h_value, token);
+    ++train_label_counts[token];
+    ++out.train_count;
+  }
+  if (out.train_count == 0) return out;
+
+  size_t most_common = 0;
+  for (const auto& [token, count] : train_label_counts) {
+    most_common = std::max(most_common, count);
+  }
+  out.most_common_fraction = static_cast<double>(most_common) /
+                             static_cast<double>(out.train_count);
+
+  for (const Row& row : split.test.rows()) {
+    const Value& h_value = row[h_col];
+    const Value& l_value = row[l_col];
+    if (h_value.is_null() || l_value.is_null()) continue;
+    std::string actual = grouping.TokenFor(l_value);
+    if (actual.empty()) continue;
+    out.eval.Observe(actual, classifier->Classify(h_value));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ViewFamily> ClusteredViewGen(
+    const Table& source_sample, const ClassifierFactory& factory,
+    const ClusteredViewGenOptions& options,
+    const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
+    std::vector<std::string> label_attributes,
+    std::vector<std::string> evidence_attributes) {
+  if (label_attributes.empty()) {
+    label_attributes = CategoricalAttributes(source_sample, categorical);
+  }
+  if (evidence_attributes.empty()) {
+    evidence_attributes = NonCategoricalAttributes(source_sample, categorical);
+  }
+
+  // Best accepted family per (label attribute, partition).
+  std::map<std::string, ViewFamily> accepted;
+
+  for (const std::string& l : label_attributes) {
+    const std::map<Value, size_t> counts = source_sample.ValueCounts(l);
+    if (counts.size() < 2 || counts.size() > options.max_label_cardinality) {
+      continue;
+    }
+    const size_t l_col = source_sample.schema().AttributeIndex(l);
+
+    for (const std::string& h : evidence_attributes) {
+      if (h == l) continue;
+      const size_t h_col = source_sample.schema().AttributeIndex(h);
+      const ValueType h_type = source_sample.schema().attribute(h_col).type;
+
+      TrainTestSplit split =
+          SplitTrainTest(source_sample, options.train_fraction, rng);
+      LabelGrouping grouping(counts);
+
+      // Merge loop: one iteration for LateDisjuncts; repeated error-pair
+      // merging under EarlyDisjuncts.
+      for (;;) {
+        TrainTestOutcome outcome =
+            RunCycle(split, h_col, l_col, grouping, factory, h_type);
+        if (outcome.train_count == 0 ||
+            outcome.eval.total() < options.min_test_size) {
+          break;
+        }
+        SignificanceResult sig = ClassifierSignificance(
+            outcome.eval.correct(), outcome.eval.total(),
+            outcome.most_common_fraction);
+        if (sig.significance > options.significance_threshold &&
+            grouping.num_groups() >= 2) {
+          ViewFamily family = FamilyFromGrouping(source_sample, l, grouping);
+          family.classifier_f1 = outcome.eval.MicroF(1.0);
+          family.significance = sig.significance;
+          family.evidence_attribute = h;
+          std::string key = l + '\x1d' + grouping.PartitionKey();
+          auto it = accepted.find(key);
+          if (it == accepted.end() ||
+              it->second.significance < family.significance) {
+            accepted[key] = std::move(family);
+          }
+        }
+        if (!early_disjuncts) break;
+        if (outcome.eval.error_pairs().empty()) break;
+        if (grouping.num_groups() <= 2) break;
+        const auto ranked = outcome.eval.NormalizedErrorPairs();
+        bool merged = false;
+        for (const auto& [pair, weight] : ranked) {
+          if (grouping.MergeByTokens(pair.first, pair.second)) {
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) break;
+      }
+    }
+  }
+
+  std::vector<ViewFamily> out;
+  out.reserve(accepted.size());
+  for (auto& [key, family] : accepted) out.push_back(std::move(family));
+  // Most significant families first; stable tiebreak on base/label.
+  std::sort(out.begin(), out.end(), [](const ViewFamily& a,
+                                       const ViewFamily& b) {
+    if (a.significance != b.significance) {
+      return a.significance > b.significance;
+    }
+    if (a.label_attribute != b.label_attribute) {
+      return a.label_attribute < b.label_attribute;
+    }
+    return a.views.size() < b.views.size();
+  });
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,56 @@
+// Algorithm ClusteredViewGen (Fig. 6) and its disjunctive extension
+// (Section 3.3).
+//
+// For each (non-categorical attribute h, categorical attribute l) pair the
+// values of h are treated as documents, the values of l as classification
+// labels, and the tuples as the expert assignment.  A classifier h -> l is
+// trained on one random subset of the sample (doTraining) and tested on the
+// rest (doTesting); if its micro-averaged F1 is significantly better than
+// the random-label null hypothesis (see stats/significance.h) the view
+// family partitioning R on l is considered well-clustered and returned.
+//
+// Under EarlyDisjuncts the most frequent (frequency-normalized) error pair
+// (v, v') is repeatedly merged into a disjunct l IN {v, v'} and the
+// train/test cycle repeats, emitting every grouping that passes the
+// significance gate, until testing is error-free or no values remain to
+// merge.
+
+#ifndef CSM_CORE_CLUSTERED_VIEW_GEN_H_
+#define CSM_CORE_CLUSTERED_VIEW_GEN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/context_options.h"
+#include "ml/classifier.h"
+#include "relational/table.h"
+#include "relational/view.h"
+
+namespace csm {
+
+/// Builds a fresh classifier suited to evidence attribute values of
+/// `evidence_type` (SrcClassInfer: NB for strings, Gaussian for numerics;
+/// TgtClassInfer: the tag-and-bestCAT wrapper).
+using ClassifierFactory =
+    std::function<std::unique_ptr<ValueClassifier>(ValueType evidence_type)>;
+
+/// Runs ClusteredViewGen over every (h, l) pair of `source_sample` and
+/// returns the accepted well-clustered view families, deduplicated by
+/// (label attribute, partition) keeping the most significant evidence.
+///
+/// `label_attributes` / `evidence_attributes` default (when empty) to the
+/// categorical / non-categorical attributes of the sample under
+/// `categorical`.
+std::vector<ViewFamily> ClusteredViewGen(
+    const Table& source_sample, const ClassifierFactory& factory,
+    const ClusteredViewGenOptions& options,
+    const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
+    std::vector<std::string> label_attributes = {},
+    std::vector<std::string> evidence_attributes = {});
+
+}  // namespace csm
+
+#endif  // CSM_CORE_CLUSTERED_VIEW_GEN_H_

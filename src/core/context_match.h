@@ -1,0 +1,55 @@
+// Algorithm ContextMatch (Fig. 5) — the contextual schema matching driver —
+// plus the iterative conjunctive-condition extension of Section 3.5.
+
+#ifndef CSM_CORE_CONTEXT_MATCH_H_
+#define CSM_CORE_CONTEXT_MATCH_H_
+
+#include <vector>
+
+#include "core/context_options.h"
+#include "core/select_matches.h"
+#include "core/view_inference.h"
+#include "match/match_types.h"
+#include "relational/table.h"
+#include "relational/view.h"
+
+namespace csm {
+
+/// Output of a ContextMatch run.
+struct ContextMatchResult {
+  /// The selected contextual matches (the algorithm's output set M).
+  MatchList matches;
+  /// The views those matches originate from.
+  std::vector<View> selected_views;
+  /// Diagnostics: everything that was scored.
+  ScoredPool pool;
+
+  /// Wall-clock seconds spent in each phase.
+  double standard_match_seconds = 0.0;
+  double inference_seconds = 0.0;
+  double scoring_seconds = 0.0;
+  double selection_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return standard_match_seconds + inference_seconds + scoring_seconds +
+           selection_seconds;
+  }
+};
+
+/// Runs contextual schema matching of every source table against the target
+/// database using the strategies configured in `options`.
+ContextMatchResult ContextMatch(const Database& source, const Database& target,
+                                const ContextMatchOptions& options);
+
+/// Section 3.5: repeatedly re-runs inference on the views selected in the
+/// previous stage (partitioning only on attributes not already in the
+/// condition) to discover conjunctive k-conditions, up to `max_stages`
+/// condition attributes.  max_stages == 1 is plain ContextMatch.
+ContextMatchResult ConjunctiveContextMatch(const Database& source,
+                                           const Database& target,
+                                           const ContextMatchOptions& options,
+                                           size_t max_stages);
+
+}  // namespace csm
+
+#endif  // CSM_CORE_CONTEXT_MATCH_H_

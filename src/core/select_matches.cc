@@ -1,0 +1,238 @@
+#include "core/select_matches.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace csm {
+namespace {
+
+/// Key identifying one candidate view: (source table, condition text).
+std::string ViewKey(const std::string& table, const Condition& condition) {
+  return table + "\x1d" + condition.ToString();
+}
+
+std::string ViewKey(const Match& match) {
+  return ViewKey(match.source.table, match.condition);
+}
+
+/// Finds the base (standard) confidence for the (source, target) attribute
+/// pair of `view_match`; 0 when the pair has no base match.
+double BaseConfidence(const MatchList& base_matches, const Match& view_match) {
+  for (const Match& base : base_matches) {
+    if (base.source == view_match.source && base.target == view_match.target) {
+      return base.confidence;
+    }
+  }
+  return 0.0;
+}
+
+void SortMatches(MatchList& matches) {
+  std::sort(matches.begin(), matches.end(), [](const Match& a, const Match& b) {
+    if (a.target < b.target) return true;
+    if (b.target < a.target) return false;
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.source < b.source) return true;
+    if (b.source < a.source) return false;
+    return a.condition.ToString() < b.condition.ToString();
+  });
+}
+
+}  // namespace
+
+SelectionResult SelectMultiTable(const ScoredPool& pool, double omega) {
+  // Candidate set: all base matches, plus view matches that improve their
+  // base counterpart by at least omega.
+  MatchList eligible = pool.base_matches;
+  for (const Match& vm : pool.view_matches) {
+    if (vm.confidence >= BaseConfidence(pool.base_matches, vm) + omega) {
+      eligible.push_back(vm);
+    }
+  }
+  // Best per target attribute.
+  std::map<AttributeRef, const Match*> best;
+  for (const Match& match : eligible) {
+    auto [it, inserted] = best.try_emplace(match.target, &match);
+    if (!inserted && match.confidence > it->second->confidence) {
+      it->second = &match;
+    }
+  }
+  SelectionResult result;
+  std::set<std::string> selected_keys;
+  for (const auto& [target, match] : best) {
+    result.matches.push_back(*match);
+    if (!match->condition.is_true()) {
+      selected_keys.insert(ViewKey(*match));
+    }
+  }
+  for (const View& view : pool.candidate_views) {
+    if (selected_keys.count(ViewKey(view.base_table(), view.condition()))) {
+      result.selected_views.push_back(view);
+    }
+  }
+  SortMatches(result.matches);
+  return result;
+}
+
+SelectionResult SelectQualTable(const ScoredPool& pool, double omega,
+                                bool early_disjuncts, double tau) {
+  SelectionResult result;
+
+  // Group base matches by (target table, source table) and sum confidences.
+  std::set<std::string> target_tables;
+  for (const Match& m : pool.base_matches) target_tables.insert(m.target.table);
+
+  std::set<std::string> selected_keys;
+  for (const std::string& target_table : target_tables) {
+    // Table-level confidence totals are best-assignment sums: each SOURCE
+    // attribute contributes the confidence of its best match into this
+    // target table.  A plain sum over all matches would (a) double-count a
+    // source attribute matching several target attributes — so a correct
+    // restriction that collapses the spurious extras looks like a loss —
+    // and (b) under attribute normalization reward the base table for
+    // matching every per-value column moderately, which no single-value
+    // view can beat even though the view matches its own column far better.
+    // (a) Source table with the highest total base confidence.
+    std::map<std::string, std::map<std::string, double>> source_best;
+    for (const Match& m : pool.base_matches) {
+      if (m.target.table != target_table) continue;
+      double& best = source_best[m.source.table][m.source.attribute];
+      best = std::max(best, m.confidence);
+    }
+    std::string best_source;
+    double base_total = -1.0;
+    for (const auto& [source, per_attr] : source_best) {
+      double total = 0.0;
+      for (const auto& [attr, conf] : per_attr) total += conf;
+      if (total > base_total) {
+        best_source = source;
+        base_total = total;
+      }
+    }
+    if (best_source.empty()) continue;
+
+    // (b) Total confidence of each candidate view of that source table
+    // against this target table.
+    std::map<std::string, std::map<std::string, double>> view_best;
+    for (const Match& vm : pool.view_matches) {
+      if (vm.source.table != best_source || vm.target.table != target_table) {
+        continue;
+      }
+      double& best = view_best[ViewKey(vm)][vm.source.attribute];
+      best = std::max(best, vm.confidence);
+    }
+    std::map<std::string, double> view_totals;  // view key -> total
+    for (const auto& [key, per_attr] : view_best) {
+      double total = 0.0;
+      for (const auto& [attr, conf] : per_attr) total += conf;
+      view_totals[key] = total;
+    }
+
+    // (c) Views improving the base total by at least omega.
+    std::vector<std::pair<std::string, double>> improving;
+    for (const auto& [key, total] : view_totals) {
+      if (total >= base_total + omega) improving.emplace_back(key, total);
+    }
+    std::sort(improving.begin(), improving.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (early_disjuncts && improving.size() > 1) {
+      // Disjunction already lives in the condition; keep the single best,
+      // breaking near-ties (within 5%) toward the view with the largest
+      // coverage — a merged disjunct and one of its halves score alike once
+      // size bias is corrected, but the merged view maps more of the data.
+      // Only views conditioned on the *same attributes* as the top view
+      // compete in the tie-break: a broadly merged view on an unrelated
+      // attribute must not win on coverage alone.
+      std::map<std::string, std::string> condition_attrs;
+      for (const View& view : pool.candidate_views) {
+        std::string attrs;
+        for (const std::string& a : view.condition().MentionedAttributes()) {
+          attrs += a;
+          attrs += '\x1f';
+        }
+        condition_attrs[ViewKey(view.base_table(), view.condition())] =
+            std::move(attrs);
+      }
+      const double tie_floor = improving[0].second * 0.95;
+      const std::string top_attrs = condition_attrs[improving[0].first];
+      size_t pick = 0;
+      size_t best_rows = 0;
+      for (size_t i = 0; i < improving.size(); ++i) {
+        if (improving[i].second < tie_floor) break;
+        if (condition_attrs[improving[i].first] != top_attrs) continue;
+        auto rows_it = pool.view_row_counts.find(improving[i].first);
+        size_t rows =
+            rows_it == pool.view_row_counts.end() ? 0 : rows_it->second;
+        if (rows > best_rows) {
+          best_rows = rows;
+          pick = i;
+        }
+      }
+      improving[0] = improving[pick];
+      improving.resize(1);
+    }
+
+    if (improving.empty()) {
+      // No view improves: keep the base matches of the chosen source table.
+      for (const Match& m : pool.base_matches) {
+        if (m.target.table == target_table && m.source.table == best_source) {
+          result.matches.push_back(m);
+        }
+      }
+      continue;
+    }
+
+    std::set<std::string> chosen;
+    for (const auto& [key, total] : improving) {
+      chosen.insert(key);
+      selected_keys.insert(key);
+    }
+    // (d) Emit the selected views' matches: consistent with the
+    // assignment-based totals, each source attribute contributes its best
+    // target attribute per view, re-filtered by tau.
+    std::map<std::pair<std::string, std::string>, const Match*> best_emit;
+    for (const Match& vm : pool.view_matches) {
+      if (vm.source.table != best_source || vm.target.table != target_table) {
+        continue;
+      }
+      if (chosen.count(ViewKey(vm)) == 0) continue;
+      if (vm.confidence < tau) continue;
+      auto key = std::make_pair(ViewKey(vm), vm.source.attribute);
+      auto [it, inserted] = best_emit.try_emplace(key, &vm);
+      if (!inserted && vm.confidence > it->second->confidence) {
+        it->second = &vm;
+      }
+    }
+    for (const auto& [key, vm] : best_emit) {
+      result.matches.push_back(*vm);
+    }
+  }
+
+  for (const View& view : pool.candidate_views) {
+    if (selected_keys.count(ViewKey(view.base_table(), view.condition()))) {
+      result.selected_views.push_back(view);
+    }
+  }
+  SortMatches(result.matches);
+  return result;
+}
+
+SelectionResult SelectContextualMatches(const ScoredPool& pool,
+                                        const ContextMatchOptions& options) {
+  switch (options.selection) {
+    case SelectionPolicy::kMultiTable:
+      return SelectMultiTable(pool, options.omega);
+    case SelectionPolicy::kQualTable:
+      return SelectQualTable(pool, options.omega, options.early_disjuncts,
+                             options.tau);
+  }
+  CSM_CHECK(false) << "unknown selection policy";
+  return {};
+}
+
+}  // namespace csm

@@ -1,0 +1,44 @@
+// Target-side contextual matching.
+//
+// Section 3 notes that "it is generally straightforward to reverse the role
+// of source and target tables to discover matches involving conditions on
+// the target table", and Section 7 lists handling views on the target
+// schema as future work.  This module implements the reversal: the target
+// database is matched as if it were the source, conditions are inferred on
+// *its* tables, and the resulting matches are flipped back into
+// source -> target orientation with Match::condition_on_target set.
+//
+// The canonical use is the mirror of Example 1.1: a combined source
+// inventory on one side and a combined *target* inventory on the other —
+// when the source stores books and music in separate tables, each source
+// table should map into the slice of the target combined table selected by
+// its discriminator value.
+
+#ifndef CSM_CORE_TARGET_CONTEXT_H_
+#define CSM_CORE_TARGET_CONTEXT_H_
+
+#include "core/context_match.h"
+
+namespace csm {
+
+struct TargetContextMatchResult {
+  /// Matches oriented source -> target whose conditions (when present)
+  /// select rows of the *target* table (condition_on_target is set).
+  MatchList matches;
+  /// The selected views over target tables.
+  std::vector<View> selected_target_views;
+  /// The underlying reversed-direction run, for diagnostics.
+  ContextMatchResult reversed;
+};
+
+/// Runs ContextMatch with the roles of `source` and `target` reversed and
+/// flips the output back.  All options keep their usual meaning; inference
+/// runs on the target tables (TgtClassInfer's "target" classifiers are
+/// trained on `source`).
+TargetContextMatchResult TargetContextMatch(const Database& source,
+                                            const Database& target,
+                                            const ContextMatchOptions& options);
+
+}  // namespace csm
+
+#endif  // CSM_CORE_TARGET_CONTEXT_H_

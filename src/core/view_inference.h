@@ -1,0 +1,71 @@
+// The InferCandidateViews abstraction of Algorithm ContextMatch (Fig. 5,
+// line 5): given a source table's sample, the accepted standard matches and
+// the target sample, propose candidate view conditions to evaluate.
+
+#ifndef CSM_CORE_VIEW_INFERENCE_H_
+#define CSM_CORE_VIEW_INFERENCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/context_options.h"
+#include "match/match_types.h"
+#include "relational/table.h"
+#include "relational/view.h"
+
+namespace csm {
+
+/// Inputs shared by all inference strategies.
+struct InferenceInput {
+  /// Sample of the source table Rs currently being matched.
+  const Table* source_sample = nullptr;
+  /// Sample of the whole target database (used by TgtClassInfer).
+  const Database* target_sample = nullptr;
+  /// Accepted standard matches from `source_sample` (no conditions are
+  /// inferred when empty, per Fig. 5).
+  const MatchList* matches = nullptr;
+  /// EarlyDisjuncts: propose disjunctive conditions during inference.
+  bool early_disjuncts = false;
+  /// Attributes that may not participate in partitioning (the conjunctive
+  /// iteration of Section 3.5 excludes attributes already in the stage's
+  /// condition).
+  std::vector<std::string> excluded_partition_attributes;
+};
+
+/// One proposed candidate view plus the evidence that produced it.
+struct CandidateView {
+  View view;
+  /// Classifier quality of the family this view came from (0 for NaiveInfer).
+  double family_f1 = 0.0;
+  double family_significance = 0.0;
+  /// Evidence attribute h (empty for NaiveInfer).
+  std::string evidence_attribute;
+};
+
+/// Strategy interface; implementations are NaiveInfer, SrcClassInfer and
+/// TgtClassInfer (Section 3.2).
+class ViewInference {
+ public:
+  virtual ~ViewInference() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Proposes candidate views.  Deterministic given `rng`'s state.
+  virtual std::vector<CandidateView> InferCandidateViews(
+      const InferenceInput& input, Rng& rng) = 0;
+};
+
+/// Factory for the strategy selected in ContextMatchOptions.
+std::unique_ptr<ViewInference> MakeViewInference(
+    ViewInferenceKind kind, const ContextMatchOptions& options);
+
+/// Removes candidates whose (base table, condition) duplicates an earlier
+/// candidate, keeping the first (highest-evidence) occurrence.
+std::vector<CandidateView> DeduplicateCandidates(
+    std::vector<CandidateView> candidates);
+
+}  // namespace csm
+
+#endif  // CSM_CORE_VIEW_INFERENCE_H_

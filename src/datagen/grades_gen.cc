@@ -1,0 +1,107 @@
+#include "datagen/grades_gen.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/wordlists.h"
+
+namespace csm {
+namespace {
+
+constexpr const char* kNarrowTable = "grades_narrow";
+constexpr const char* kWideTable = "grades_wide";
+
+/// Distinct student names; collisions get a numeric suffix.
+std::vector<std::string> MakeStudentNames(size_t count, Rng& rng) {
+  std::vector<std::string> names;
+  std::set<std::string> seen;
+  while (names.size() < count) {
+    std::string name = MakePersonName(rng);
+    if (!seen.insert(name).second) {
+      name += StrFormat(" %zu", names.size());
+      seen.insert(name);
+    }
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+double ExamMean(size_t exam) {  // exam is 1-based
+  return 40.0 + 10.0 * static_cast<double>(exam - 1);
+}
+
+double MakeGrade(size_t exam, double sigma, Rng& rng) {
+  double grade = rng.NextGaussian(ExamMean(exam), sigma);
+  // Scores live on a 0..100-ish scale; clamp and keep one decimal.
+  grade = std::max(0.0, std::min(100.0, grade));
+  return static_cast<double>(static_cast<int64_t>(grade * 10.0 + 0.5)) / 10.0;
+}
+
+}  // namespace
+
+GradesDataset MakeGradesDataset(const GradesOptions& options) {
+  CSM_CHECK_GE(options.num_exams, 1u);
+  Rng rng(options.seed);
+  GradesDataset out;
+
+  // ---- Source: grades_narrow(name, examNum, grade) --------------------
+  TableSchema narrow_schema(kNarrowTable);
+  narrow_schema.AddAttribute("name", ValueType::kString);
+  narrow_schema.AddAttribute("examNum", ValueType::kInt);
+  narrow_schema.AddAttribute("grade", ValueType::kReal);
+
+  Table narrow(narrow_schema);
+  std::vector<std::string> source_names =
+      MakeStudentNames(options.num_students, rng);
+  for (const std::string& name : source_names) {
+    for (size_t exam = 1; exam <= options.num_exams; ++exam) {
+      Row row;
+      row.push_back(Value::String(name));
+      row.push_back(Value::Int(static_cast<int64_t>(exam)));
+      row.push_back(Value::Real(MakeGrade(exam, options.sigma, rng)));
+      narrow.AddRow(std::move(row));
+    }
+  }
+  out.source = Database("source");
+  out.source.AddTable(std::move(narrow));
+
+  // ---- Target: grades_wide(name, grade1..gradeN) ----------------------
+  TableSchema wide_schema(kWideTable);
+  wide_schema.AddAttribute("name", ValueType::kString);
+  for (size_t exam = 1; exam <= options.num_exams; ++exam) {
+    wide_schema.AddAttribute(StrFormat("grade%zu", exam), ValueType::kReal);
+  }
+  Table wide(wide_schema);
+  std::vector<std::string> target_names =
+      MakeStudentNames(options.num_students, rng);
+  for (const std::string& name : target_names) {
+    Row row;
+    row.push_back(Value::String(name));
+    for (size_t exam = 1; exam <= options.num_exams; ++exam) {
+      row.push_back(Value::Real(MakeGrade(exam, options.sigma, rng)));
+    }
+    wide.AddRow(std::move(row));
+  }
+  out.target = Database("target");
+  out.target.AddTable(std::move(wide));
+
+  // ---- Ground truth ----------------------------------------------------
+  std::vector<Value> all_exams;
+  for (size_t exam = 1; exam <= options.num_exams; ++exam) {
+    all_exams.push_back(Value::Int(static_cast<int64_t>(exam)));
+  }
+  // name -> name is correct from any exam's view.
+  out.truth.entries.push_back(TruthEntry{kNarrowTable, "name", kWideTable,
+                                         "name", "examNum", all_exams});
+  // grade -> grade_i only under examNum = i.
+  for (size_t exam = 1; exam <= options.num_exams; ++exam) {
+    out.truth.entries.push_back(
+        TruthEntry{kNarrowTable, "grade", kWideTable,
+                   StrFormat("grade%zu", exam), "examNum",
+                   {Value::Int(static_cast<int64_t>(exam))}});
+  }
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,39 @@
+// The Grades data set (Section 5, "Grades data"): 200 students x 5 exams.
+//
+// Source grades_narrow(name, examNum, grade); target grades_wide(name,
+// grade1..grade5).  Exam i's grades are N(40 + 10*(i-1), sigma); the grade
+// data is generated independently for each schema so the means/deviations
+// agree but the actual scores do not.  The correct mapping promotes
+// examNum values to attributes: one view per examNum, joined on name
+// (rule join 1).
+
+#ifndef CSM_DATAGEN_GRADES_GEN_H_
+#define CSM_DATAGEN_GRADES_GEN_H_
+
+#include <cstdint>
+
+#include "datagen/ground_truth.h"
+#include "relational/table.h"
+
+namespace csm {
+
+struct GradesOptions {
+  size_t num_students = 200;
+  size_t num_exams = 5;
+  /// Standard deviation of each exam's scores; higher = harder matching.
+  double sigma = 5.0;
+  uint64_t seed = 1;
+};
+
+struct GradesDataset {
+  Database source;  // grades_narrow
+  Database target;  // grades_wide
+  GroundTruth truth;
+};
+
+/// Generates the data set.  Deterministic given options.seed.
+GradesDataset MakeGradesDataset(const GradesOptions& options);
+
+}  // namespace csm
+
+#endif  // CSM_DATAGEN_GRADES_GEN_H_

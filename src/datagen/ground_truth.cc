@@ -1,0 +1,94 @@
+#include "datagen/ground_truth.h"
+
+#include <algorithm>
+#include <set>
+
+namespace csm {
+namespace {
+
+/// The matching truth entry for a correct view match, or nullptr.
+const TruthEntry* FindCorrectEntry(const GroundTruth& truth,
+                                   const Match& match) {
+  if (match.condition.is_true()) return nullptr;
+  if (match.condition.NumAttributes() != 1) return nullptr;
+  const ConditionClause& clause = match.condition.clauses()[0];
+  for (const TruthEntry& entry : truth.entries) {
+    if (entry.source_table != match.source.table ||
+        entry.source_attribute != match.source.attribute ||
+        entry.target_table != match.target.table ||
+        entry.target_attribute != match.target.attribute) {
+      continue;
+    }
+    if (clause.attribute != entry.label_attribute) continue;
+    bool subset = true;
+    for (const Value& value : clause.values) {
+      if (std::find(entry.allowed_values.begin(), entry.allowed_values.end(),
+                    value) == entry.allowed_values.end()) {
+        subset = false;
+        break;
+      }
+    }
+    if (subset) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string TruthEntry::ToString() const {
+  std::string out = source_table + "." + source_attribute + " -> " +
+                    target_table + "." + target_attribute + " [" +
+                    label_attribute + " in {";
+  for (size_t i = 0; i < allowed_values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += allowed_values[i].ToString();
+  }
+  out += "}]";
+  return out;
+}
+
+bool IsCorrectMatch(const GroundTruth& truth, const Match& match) {
+  return FindCorrectEntry(truth, match) != nullptr;
+}
+
+MatchQuality EvaluateMatches(const GroundTruth& truth,
+                             const MatchList& matches) {
+  MatchQuality quality;
+
+  // Per-entry covered label values.
+  std::vector<std::set<Value>> covered(truth.entries.size());
+
+  for (const Match& match : matches) {
+    if (match.condition.is_true()) continue;  // only view-origin edges count
+    ++quality.view_matches;
+    const TruthEntry* entry = FindCorrectEntry(truth, match);
+    if (entry == nullptr) continue;
+    ++quality.correct_matches;
+    size_t index = static_cast<size_t>(entry - truth.entries.data());
+    for (const Value& value : match.condition.clauses()[0].values) {
+      covered[index].insert(value);
+    }
+  }
+
+  if (!truth.entries.empty()) {
+    double credit = 0.0;
+    for (size_t i = 0; i < truth.entries.size(); ++i) {
+      const size_t allowed = truth.entries[i].allowed_values.size();
+      if (allowed == 0) continue;
+      credit += static_cast<double>(covered[i].size()) /
+                static_cast<double>(allowed);
+    }
+    quality.accuracy = credit / static_cast<double>(truth.entries.size());
+  }
+  if (quality.view_matches > 0) {
+    quality.precision = static_cast<double>(quality.correct_matches) /
+                        static_cast<double>(quality.view_matches);
+  }
+  if (quality.accuracy + quality.precision > 0.0) {
+    quality.fmeasure = 2.0 * quality.accuracy * quality.precision /
+                       (quality.accuracy + quality.precision);
+  }
+  return quality;
+}
+
+}  // namespace csm

@@ -1,0 +1,66 @@
+// Ground-truth match sets and the accuracy / precision / F-measure scoring
+// of Section 5 ("Evaluating Accuracy"): matches are compared against
+// manually designated correct attribute-level matches; accuracy is the
+// percentage of correct matches found, precision the percentage of found
+// matches that are correct, and *only edges originating from views are
+// considered* — standard (condition-free) matches are ignored.
+
+#ifndef CSM_DATAGEN_GROUND_TRUTH_H_
+#define CSM_DATAGEN_GROUND_TRUTH_H_
+
+#include <string>
+#include <vector>
+
+#include "match/match_types.h"
+#include "relational/value.h"
+
+namespace csm {
+
+/// One designated-correct contextual match: source attribute -> target
+/// attribute, valid when conditioned on `label_attribute` with values drawn
+/// from `allowed_values` (e.g. Title -> BookTitle under ItemType in
+/// {Book1, Book2}).
+struct TruthEntry {
+  std::string source_table;
+  std::string source_attribute;
+  std::string target_table;
+  std::string target_attribute;
+  /// The only attribute a correct condition may mention.
+  std::string label_attribute;
+  /// The label values a correct condition may select (subsets are correct;
+  /// partial coverage earns fractional accuracy credit).
+  std::vector<Value> allowed_values;
+
+  std::string ToString() const;
+};
+
+struct GroundTruth {
+  std::vector<TruthEntry> entries;
+};
+
+/// Scores for one evaluated match list.
+struct MatchQuality {
+  /// Accuracy (recall): mean per-entry coverage, where an entry's coverage
+  /// is |allowed values selected by correct matches| / |allowed values|.
+  double accuracy = 0.0;
+  /// Fraction of emitted view matches that are correct.
+  double precision = 0.0;
+  /// Harmonic mean of accuracy and precision.
+  double fmeasure = 0.0;
+
+  size_t view_matches = 0;     // emitted matches with a condition
+  size_t correct_matches = 0;  // of those, how many are correct
+};
+
+/// True when `match` is a correct realization of some truth entry: right
+/// attribute pairing, and a 1-clause condition on the entry's label
+/// attribute whose values are a subset of the allowed values.
+bool IsCorrectMatch(const GroundTruth& truth, const Match& match);
+
+/// Evaluates per Section 5; standard matches in `matches` are ignored.
+MatchQuality EvaluateMatches(const GroundTruth& truth,
+                             const MatchList& matches);
+
+}  // namespace csm
+
+#endif  // CSM_DATAGEN_GROUND_TRUTH_H_

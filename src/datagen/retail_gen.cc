@@ -1,0 +1,228 @@
+#include "datagen/retail_gen.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/wordlists.h"
+
+namespace csm {
+namespace {
+
+constexpr const char* kSourceTable = "inventory";
+
+/// Per-target-variant attribute names, in the fixed order:
+/// id, title, creator, price, code, year.
+struct TargetNames {
+  const char* book_table;
+  const char* music_table;
+  const char* book_attrs[6];
+  const char* music_attrs[6];
+};
+
+TargetNames NamesFor(RetailTarget target) {
+  switch (target) {
+    case RetailTarget::kRyanEyers:
+      return TargetNames{
+          "Book",
+          "Music",
+          {"BookID", "BookTitle", "Author", "ListPrice", "ISBN", "PubYear"},
+          {"AlbumID", "AlbumName", "Artist", "Price", "UPC", "ReleaseYear"}};
+    case RetailTarget::kAaronDay:
+      return TargetNames{
+          "books",
+          "cds",
+          {"book_id", "title", "writer", "cost", "isbn", "year_published"},
+          {"cd_id", "album", "performer", "price", "upc", "release_year"}};
+    case RetailTarget::kBarrettArney:
+      return TargetNames{"book_inventory",
+                         "music_inventory",
+                         {"bk_id", "bk_title", "bk_author", "bk_price",
+                          "bk_code", "bk_year"},
+                         {"m_id", "m_title", "m_artist", "m_price", "m_code",
+                          "m_year"}};
+  }
+  CSM_CHECK(false) << "unknown retail target";
+  return {};
+}
+
+struct ItemFields {
+  std::string title;
+  std::string creator;
+  double price;
+  std::string code;
+  int64_t year;
+};
+
+ItemFields MakeBook(Rng& rng) {
+  ItemFields f;
+  f.title = MakeBookTitle(rng);
+  f.creator = MakePersonName(rng);
+  f.price = 5.0 + rng.NextDouble() * 40.0;
+  f.code = MakeIsbn(rng);
+  f.year = rng.NextInt(1950, 2024);
+  return f;
+}
+
+ItemFields MakeCd(Rng& rng) {
+  ItemFields f;
+  f.title = MakeAlbumTitle(rng);
+  f.creator = MakeBandName(rng);
+  f.price = 8.0 + rng.NextDouble() * 12.0;
+  f.code = MakeUpc(rng);
+  f.year = rng.NextInt(1950, 2024);
+  return f;
+}
+
+double RoundPrice(double price) {
+  return static_cast<double>(static_cast<int64_t>(price * 100.0 + 0.5)) /
+         100.0;
+}
+
+}  // namespace
+
+const char* RetailTargetToString(RetailTarget target) {
+  switch (target) {
+    case RetailTarget::kRyanEyers:
+      return "Ryan_Eyers";
+    case RetailTarget::kAaronDay:
+      return "Aaron_Day";
+    case RetailTarget::kBarrettArney:
+      return "Barrett_Arney";
+  }
+  return "unknown";
+}
+
+RetailDataset MakeRetailDataset(const RetailOptions& options) {
+  CSM_CHECK_GE(options.gamma, 2u);
+  CSM_CHECK_EQ(options.gamma % 2, 0u) << "gamma must be even";
+  Rng rng(options.seed);
+  RetailDataset out;
+
+  const size_t labels_per_kind = options.gamma / 2;
+  for (size_t i = 1; i <= labels_per_kind; ++i) {
+    out.book_labels.push_back(Value::String(StrFormat("Book%zu", i)));
+    out.cd_labels.push_back(Value::String(StrFormat("CD%zu", i)));
+  }
+  std::vector<Value> all_labels = out.book_labels;
+  all_labels.insert(all_labels.end(), out.cd_labels.begin(),
+                    out.cd_labels.end());
+
+  // ---- Source schema -------------------------------------------------
+  TableSchema source_schema(kSourceTable);
+  source_schema.AddAttribute("ItemID", ValueType::kInt);
+  source_schema.AddAttribute("ItemType", ValueType::kString);
+  source_schema.AddAttribute("Title", ValueType::kString);
+  source_schema.AddAttribute("Creator", ValueType::kString);
+  source_schema.AddAttribute("Price", ValueType::kReal);
+  source_schema.AddAttribute("Code", ValueType::kString);
+  source_schema.AddAttribute("PubYear", ValueType::kInt);
+  source_schema.AddAttribute("StockStatus", ValueType::kString);
+  for (size_t i = 1; i <= options.correlated_attributes; ++i) {
+    source_schema.AddAttribute(StrFormat("CorrType%zu", i),
+                               ValueType::kString);
+  }
+  for (size_t i = 1; i <= options.extra_categorical; ++i) {
+    source_schema.AddAttribute(StrFormat("NoiseCat%zu", i),
+                               ValueType::kString);
+  }
+  for (size_t i = 1; i <= options.extra_noncategorical; ++i) {
+    source_schema.AddAttribute(StrFormat("Extra%zu", i), ValueType::kString);
+  }
+
+  static constexpr const char* kStockLevels[] = {"Low", "Normal", "High"};
+
+  Table source_table(source_schema);
+  for (size_t item = 0; item < options.num_items; ++item) {
+    const bool is_book = rng.NextBernoulli(0.5);
+    const Value& label =
+        is_book ? out.book_labels[rng.NextBounded(out.book_labels.size())]
+                : out.cd_labels[rng.NextBounded(out.cd_labels.size())];
+    ItemFields fields = is_book ? MakeBook(rng) : MakeCd(rng);
+
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(10000 + item)));
+    row.push_back(label);
+    row.push_back(Value::String(fields.title));
+    row.push_back(Value::String(fields.creator));
+    row.push_back(Value::Real(RoundPrice(fields.price)));
+    row.push_back(Value::String(fields.code));
+    row.push_back(Value::Int(fields.year));
+    row.push_back(Value::String(kStockLevels[rng.NextBounded(3)]));
+    for (size_t i = 0; i < options.correlated_attributes; ++i) {
+      if (rng.NextBernoulli(options.rho)) {
+        row.push_back(label);
+      } else {
+        row.push_back(all_labels[rng.NextBounded(all_labels.size())]);
+      }
+    }
+    for (size_t i = 0; i < options.extra_categorical; ++i) {
+      row.push_back(all_labels[rng.NextBounded(all_labels.size())]);
+    }
+    for (size_t i = 0; i < options.extra_noncategorical; ++i) {
+      row.push_back(Value::String(MakeRealEstateListing(rng)));
+    }
+    source_table.AddRow(std::move(row));
+  }
+  out.source = Database("source");
+  out.source.AddTable(std::move(source_table));
+
+  // ---- Target schema + data ------------------------------------------
+  const TargetNames names = NamesFor(options.target);
+  const size_t target_rows = options.target_rows_per_table > 0
+                                 ? options.target_rows_per_table
+                                 : std::max<size_t>(1, options.num_items / 2);
+
+  auto make_target_table = [&](const char* table_name,
+                               const char* const attrs[6], bool books) {
+    TableSchema schema(table_name);
+    schema.AddAttribute(attrs[0], ValueType::kInt);
+    schema.AddAttribute(attrs[1], ValueType::kString);
+    schema.AddAttribute(attrs[2], ValueType::kString);
+    schema.AddAttribute(attrs[3], ValueType::kReal);
+    schema.AddAttribute(attrs[4], ValueType::kString);
+    schema.AddAttribute(attrs[5], ValueType::kInt);
+    for (size_t i = 1; i <= options.extra_noncategorical; ++i) {
+      schema.AddAttribute(StrFormat("%s_extra%zu", table_name, i),
+                          ValueType::kString);
+    }
+    Table table(schema);
+    for (size_t r = 0; r < target_rows; ++r) {
+      ItemFields fields = books ? MakeBook(rng) : MakeCd(rng);
+      Row row;
+      row.push_back(Value::Int(static_cast<int64_t>(50000 + r)));
+      row.push_back(Value::String(fields.title));
+      row.push_back(Value::String(fields.creator));
+      row.push_back(Value::Real(RoundPrice(fields.price)));
+      row.push_back(Value::String(fields.code));
+      row.push_back(Value::Int(fields.year));
+      for (size_t i = 0; i < options.extra_noncategorical; ++i) {
+        row.push_back(Value::String(MakeRealEstateListing(rng)));
+      }
+      table.AddRow(std::move(row));
+    }
+    return table;
+  };
+
+  out.target = Database("target");
+  out.target.AddTable(make_target_table(names.book_table, names.book_attrs,
+                                        /*books=*/true));
+  out.target.AddTable(make_target_table(names.music_table, names.music_attrs,
+                                        /*books=*/false));
+
+  // ---- Ground truth ---------------------------------------------------
+  // ItemID -> id pairs are excluded from the designated-correct set: the
+  // ID ranges are disjoint surrogate keys with no instance-level signal, so
+  // no instance-based matcher can (or should) pair them.
+  static constexpr const char* kSourceAttrs[6] = {
+      "ItemID", "Title", "Creator", "Price", "Code", "PubYear"};
+  for (size_t i = 1; i < 6; ++i) {
+    out.truth.entries.push_back(TruthEntry{
+        kSourceTable, kSourceAttrs[i], names.book_table, names.book_attrs[i],
+        "ItemType", out.book_labels});
+    out.truth.entries.push_back(TruthEntry{
+        kSourceTable, kSourceAttrs[i], names.music_table,
+        names.music_attrs[i], "ItemType", out.cd_labels});
+  }
+  return out;
+}
+
+}  // namespace csm

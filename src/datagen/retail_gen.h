@@ -1,0 +1,69 @@
+// The Retail data set (Section 5, "Inventory Data").
+//
+// Source: a Colin_Bleckner-style combined inventory table whose ItemType
+// column tags each row as a book or a CD, plus the StockStatus distractor
+// the paper adds.  Targets: three student-schema variants (Ryan_Eyers,
+// Aaron_Day, Barrett_Arney) that split books and music into separate
+// tables.  All experiment knobs are exposed:
+//   gamma                — cardinality of ItemType (Book1..Book_{g/2},
+//                          CD1..CD_{g/2}); paper default 4
+//   correlated/rho       — extra low-cardinality attributes correlated with
+//                          ItemType (Section 5.3); matches on them are
+//                          errors by definition
+//   extra_noncategorical — schema-size expansion with real-estate noise on
+//                          every table (Section 5.5)
+//   extra_categorical    — extra ItemType-domain categorical attributes on
+//                          the source (Section 5.5)
+//   num_items            — sample size (Section 5.6)
+
+#ifndef CSM_DATAGEN_RETAIL_GEN_H_
+#define CSM_DATAGEN_RETAIL_GEN_H_
+
+#include <cstdint>
+
+#include "datagen/ground_truth.h"
+#include "relational/table.h"
+
+namespace csm {
+
+/// Which student target schema to generate.
+enum class RetailTarget {
+  kRyanEyers,
+  kAaronDay,
+  kBarrettArney,
+};
+
+const char* RetailTargetToString(RetailTarget target);
+
+struct RetailOptions {
+  size_t num_items = 400;
+  /// Total Book*/CD* labels; must be even and >= 2.
+  size_t gamma = 4;
+  /// Extra attributes sharing ItemType's domain, each copying ItemType's
+  /// value with probability `rho` (uniform over the domain otherwise).
+  size_t correlated_attributes = 0;
+  double rho = 0.0;
+  /// Schema-size expansion.
+  size_t extra_noncategorical = 0;
+  size_t extra_categorical = 0;
+  /// Rows per target table (0 = num_items / 2 each).
+  size_t target_rows_per_table = 0;
+  RetailTarget target = RetailTarget::kRyanEyers;
+  uint64_t seed = 1;
+};
+
+struct RetailDataset {
+  Database source;
+  Database target;
+  GroundTruth truth;
+  /// The ItemType values tagging books / CDs ("Book1", ...).
+  std::vector<Value> book_labels;
+  std::vector<Value> cd_labels;
+};
+
+/// Generates the data set.  Deterministic given options.seed.
+RetailDataset MakeRetailDataset(const RetailOptions& options);
+
+}  // namespace csm
+
+#endif  // CSM_DATAGEN_RETAIL_GEN_H_

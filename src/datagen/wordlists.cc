@@ -1,0 +1,231 @@
+#include "datagen/wordlists.h"
+
+#include "common/string_util.h"
+
+namespace csm {
+namespace {
+
+template <typename... Args>
+std::vector<std::string_view> MakePool(Args... args) {
+  return std::vector<std::string_view>{args...};
+}
+
+std::string_view Pick(const std::vector<std::string_view>& pool, Rng& rng) {
+  return pool[rng.NextBounded(pool.size())];
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& BookTitleWords() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "silent", "river", "memory", "shadow", "garden", "winter",
+          "daughter", "secret", "history", "light", "stone", "letter",
+          "night", "summer", "house", "ocean", "forgotten", "kingdom",
+          "journey", "truth", "promise", "empire", "glass", "paper", "wind",
+          "mountain", "road", "crossing", "bridge", "orchard", "clock",
+          "mirror", "thread", "salt", "honey", "ash", "ember", "lantern",
+          "map", "compass", "harbor", "island", "storm", "quiet", "golden",
+          "crimson", "hidden", "last", "first", "lost", "broken", "little",
+          "great", "invisible", "burning", "sleeping", "wild", "distant",
+          "hollow", "ancient"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& BookSubjects() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "a novel", "stories", "a memoir", "poems", "an inquiry",
+          "a biography", "essays", "a history", "a mystery", "a field guide",
+          "collected works", "the complete guide"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& FirstNames() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "Nora", "Elias", "Maya", "Theo", "Ivy", "Marcus", "Lena", "Oscar",
+          "Ruth", "Felix", "Clara", "Hugo", "Alma", "Jonas", "Vera", "Silas",
+          "June", "Abel", "Iris", "Ezra", "Wren", "Caleb", "Dina", "Rafael",
+          "Sofia", "Anders", "Priya", "Kenji", "Amara", "Dmitri", "Leila",
+          "Tomas", "Greta", "Omar", "Beatriz", "Yusuf", "Hanna", "Marco",
+          "Ingrid", "Pavel", "Celine", "Arjun", "Noemi", "Stefan", "Talia",
+          "Viktor", "Esme", "Lukas", "Zara", "Emil"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& LastNames() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "Castellanos", "Whitfield", "Okafor", "Lindqvist", "Marchetti",
+          "Donnelly", "Vasquez", "Hartmann", "Kowalski", "Abernathy",
+          "Fitzgerald", "Nakamura", "Oyelaran", "Petrov", "Salinas",
+          "Thackeray", "Ueda", "Vandermeer", "Winterbourne", "Xiong",
+          "Yamamoto", "Zielinski", "Arquette", "Bellweather", "Crosby",
+          "Delacroix", "Eastman", "Fontaine", "Galloway", "Holloway",
+          "Ibrahim", "Jorgensen", "Kapoor", "Lombardi", "Moreau",
+          "Nightingale", "Oliveira", "Pemberton", "Quintero", "Rosenthal",
+          "Sorensen", "Tanaka", "Ulrich", "Villanueva", "Westergaard",
+          "Yevtushenko", "Zambrano", "Ashworth", "Blackwood", "Covington"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& BandNameWords() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "velvet", "thunder", "echo", "parade", "neon", "wolves", "static",
+          "bloom", "cobalt", "drift", "ember", "foxfire", "glasshouse",
+          "howl", "indigo", "jackal", "karma", "lunar", "mirage", "nova",
+          "orbit", "pulse", "quartz", "riot", "saturn", "tremor", "ultra",
+          "vandal", "wavelength", "zenith", "arcade", "ballad", "cascade",
+          "dynamo", "electric", "fathom", "gravity", "horizon", "ivory",
+          "jungle"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& AlbumTitleWords() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "midnight", "sessions", "live", "unplugged", "remixed", "anthems",
+          "basement", "tapes", "chrome", "dreams", "city", "lights",
+          "afterglow", "bootleg", "chronicles", "diaries", "euphoria",
+          "frequencies", "grooves", "headspace", "interstate", "jukebox",
+          "kaleidoscope", "lowlands", "monsoon", "nocturne", "overdrive",
+          "polaroid", "quicksand", "reverb", "skyline", "turbulence",
+          "undertow", "voltage", "wanderlust", "xylograph", "yesterdays",
+          "zephyr"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& Publishers() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "Harborlight Press", "Quillstone Books", "Meridian House",
+          "Fernwood & Sons", "Calloway Publishing", "Bluestem Press",
+          "Arbor Lane Books", "Crestview Editions", "Silverbirch Press",
+          "Old Mill Publishing", "Lanternfish Books", "Copper Canyon House",
+          "Windrose Press", "Gable & Finch", "Hollowell Books",
+          "Northlight Editions", "Paperbark Press", "Stonegate Publishing",
+          "Tidewater Books", "Vellum House"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& RecordLabels() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "Crater Records", "Bluewire Music", "Dashboard Sound",
+          "Eleven:Eleven", "Foglight Records", "Gramophone Alley",
+          "Honeycomb Audio", "Interval Records", "Junction Sound",
+          "Kite String Music", "Loudhouse Records", "Mothership Sound",
+          "Nightjar Records", "Octave & Co", "Parallel Lines Music",
+          "Quasar Records", "Redbrick Audio", "Signal Path Records",
+          "Turntable Union", "Umbra Music"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& StreetNames() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "Maple Grove Ave", "Birchwood Ln", "Juniper Ct", "Sycamore Dr",
+          "Willowbrook Rd", "Hawthorne St", "Cottonwood Pl", "Larchmont Way",
+          "Chestnut Hollow", "Alder Creek Rd", "Poplar Ridge Dr",
+          "Magnolia Ter", "Dogwood Cir", "Cypress Bend", "Elmhurst Ave",
+          "Foxglove Ln", "Gingerwood Ct", "Heather Field Rd",
+          "Ironwood Pass", "Kestrel Ridge"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& CityNames() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "Cedar Falls", "Brookhaven", "Eastport", "Fairmont", "Glenwood",
+          "Harper's Mill", "Kingsbridge", "Lakemore", "Midvale", "Northgate",
+          "Oakhurst", "Pinecrest", "Quail Hollow", "Riverton", "Stonebrook",
+          "Thornbury", "Union Grove", "Vista Heights", "Westfield",
+          "Yarrow Bay"));
+  return *kPool;
+}
+
+const std::vector<std::string_view>& RealEstateWords() {
+  static const std::vector<std::string_view>* kPool =
+      new std::vector<std::string_view>(MakePool(
+          "charming", "spacious", "renovated", "sunlit", "cozy", "updated",
+          "granite", "hardwood", "bungalow", "colonial", "ranch", "duplex",
+          "acreage", "cul-de-sac", "fireplace", "vaulted", "walk-in",
+          "fenced", "landscaped", "turnkey", "open-concept", "move-in",
+          "stainless", "backyard", "garage", "basement", "porch", "deck"));
+  return *kPool;
+}
+
+std::string MakeBookTitle(Rng& rng) {
+  const auto& words = BookTitleWords();
+  std::string title = "the";
+  size_t count = 2 + rng.NextBounded(3);
+  for (size_t i = 0; i < count; ++i) {
+    title += " ";
+    title += Pick(words, rng);
+  }
+  if (rng.NextBernoulli(0.35)) {
+    title += ": ";
+    title += Pick(BookSubjects(), rng);
+  }
+  return title;
+}
+
+std::string MakePersonName(Rng& rng) {
+  std::string name(Pick(FirstNames(), rng));
+  name += " ";
+  name += Pick(LastNames(), rng);
+  return name;
+}
+
+std::string MakeBandName(Rng& rng) {
+  std::string name;
+  if (rng.NextBernoulli(0.4)) name = "the ";
+  name += Pick(BandNameWords(), rng);
+  if (rng.NextBernoulli(0.6)) {
+    name += " ";
+    name += Pick(BandNameWords(), rng);
+  }
+  return name;
+}
+
+std::string MakeAlbumTitle(Rng& rng) {
+  const auto& words = AlbumTitleWords();
+  std::string title(Pick(words, rng));
+  size_t extra = rng.NextBounded(3);
+  for (size_t i = 0; i < extra; ++i) {
+    title += " ";
+    title += Pick(words, rng);
+  }
+  if (rng.NextBernoulli(0.15)) {
+    title += StrFormat(" vol %d", static_cast<int>(1 + rng.NextBounded(3)));
+  }
+  return title;
+}
+
+std::string MakeIsbn(Rng& rng) {
+  return StrFormat("%d-%04d-%04d-%d", static_cast<int>(rng.NextBounded(2)),
+                   static_cast<int>(rng.NextBounded(10000)),
+                   static_cast<int>(rng.NextBounded(10000)),
+                   static_cast<int>(rng.NextBounded(10)));
+}
+
+std::string MakeUpc(Rng& rng) {
+  std::string upc;
+  for (int i = 0; i < 12; ++i) {
+    upc += static_cast<char>('0' + rng.NextBounded(10));
+  }
+  return upc;
+}
+
+std::string MakeRealEstateListing(Rng& rng) {
+  return StrFormat("%d %s, %s - %s %s",
+                   static_cast<int>(100 + rng.NextBounded(9900)),
+                   std::string(Pick(StreetNames(), rng)).c_str(),
+                   std::string(Pick(CityNames(), rng)).c_str(),
+                   std::string(Pick(RealEstateWords(), rng)).c_str(),
+                   std::string(Pick(RealEstateWords(), rng)).c_str());
+}
+
+}  // namespace csm

@@ -1,0 +1,55 @@
+// Embedded word pools for the synthetic Retail and Grades workloads.
+//
+// The paper used data scraped from commercial web sites plus name data from
+// the Illinois Semantic Integration Archive; we substitute generators over
+// embedded pools that give books and CDs distinguishable lexical and
+// numeric distributions (see DESIGN.md, Substitutions).
+
+#ifndef CSM_DATAGEN_WORDLISTS_H_
+#define CSM_DATAGEN_WORDLISTS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+
+namespace csm {
+
+/// Raw pools (exposed for tests).
+const std::vector<std::string_view>& BookTitleWords();
+const std::vector<std::string_view>& BookSubjects();
+const std::vector<std::string_view>& FirstNames();
+const std::vector<std::string_view>& LastNames();
+const std::vector<std::string_view>& BandNameWords();
+const std::vector<std::string_view>& AlbumTitleWords();
+const std::vector<std::string_view>& Publishers();
+const std::vector<std::string_view>& RecordLabels();
+const std::vector<std::string_view>& StreetNames();
+const std::vector<std::string_view>& CityNames();
+const std::vector<std::string_view>& RealEstateWords();
+
+/// "the silent river of memory" style book title (3-6 words).
+std::string MakeBookTitle(Rng& rng);
+
+/// "Nora Castellanos" author name.
+std::string MakePersonName(Rng& rng);
+
+/// "velvet thunder" / "the echo parade" band name.
+std::string MakeBandName(Rng& rng);
+
+/// "midnight静 sessions vol 2"-style album title (1-4 words, maybe vol N).
+std::string MakeAlbumTitle(Rng& rng);
+
+/// ISBN-10-shaped code "0-7432-7356-7".
+std::string MakeIsbn(Rng& rng);
+
+/// 12-digit UPC "724383959723".
+std::string MakeUpc(Rng& rng);
+
+/// "1420 Maple Grove Ave, Cedar Falls" real-estate address line.
+std::string MakeRealEstateListing(Rng& rng);
+
+}  // namespace csm
+
+#endif  // CSM_DATAGEN_WORDLISTS_H_

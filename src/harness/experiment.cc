@@ -1,0 +1,42 @@
+#include "harness/experiment.h"
+
+#include <cstdlib>
+
+namespace csm {
+
+double AggregatedMetrics::Mean(const std::string& name) const {
+  auto it = metrics.find(name);
+  return it == metrics.end() ? 0.0 : it->second.Mean();
+}
+
+double AggregatedMetrics::StdDev(const std::string& name) const {
+  auto it = metrics.find(name);
+  return it == metrics.end() ? 0.0 : it->second.SampleStdDev();
+}
+
+AggregatedMetrics RunRepeated(
+    size_t repetitions, uint64_t base_seed,
+    const std::function<MetricMap(uint64_t seed)>& trial) {
+  AggregatedMetrics out;
+  for (size_t rep = 0; rep < repetitions; ++rep) {
+    Stopwatch watch;
+    MetricMap metrics = trial(base_seed + rep + 1);
+    double seconds = watch.Seconds();
+    for (const auto& [name, value] : metrics) {
+      out.metrics[name].Add(value);
+    }
+    out.metrics["seconds"].Add(seconds);
+  }
+  return out;
+}
+
+size_t BenchRepetitions(size_t default_reps) {
+  const char* env = std::getenv("CSM_BENCH_REPS");
+  if (env != nullptr) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return default_reps;
+}
+
+}  // namespace csm

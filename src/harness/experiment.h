@@ -1,0 +1,58 @@
+// Repetition/averaging helpers for the experiment benches: the paper runs
+// "between 8 and 200 random partitions of the sample data" per data point
+// and averages; RunRepeated does the same over derived seeds.
+
+#ifndef CSM_HARNESS_EXPERIMENT_H_
+#define CSM_HARNESS_EXPERIMENT_H_
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "stats/descriptive.h"
+
+namespace csm {
+
+/// Named metrics produced by one trial.
+using MetricMap = std::map<std::string, double>;
+
+/// Aggregated metrics over repetitions.
+struct AggregatedMetrics {
+  std::map<std::string, DescriptiveStats> metrics;
+
+  double Mean(const std::string& name) const;
+  double StdDev(const std::string& name) const;
+  bool Has(const std::string& name) const {
+    return metrics.find(name) != metrics.end();
+  }
+};
+
+/// Runs `trial` `repetitions` times with seeds base_seed+1 ... and merges
+/// the metric maps.  The trial's wall-clock seconds are recorded under
+/// "seconds" (in addition to any metrics the trial reports).
+AggregatedMetrics RunRepeated(size_t repetitions, uint64_t base_seed,
+                              const std::function<MetricMap(uint64_t seed)>& trial);
+
+/// Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Number of repetitions the benches use; override with CSM_BENCH_REPS to
+/// trade precision for speed.
+size_t BenchRepetitions(size_t default_reps);
+
+}  // namespace csm
+
+#endif  // CSM_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,67 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  CSM_CHECK(!columns_.empty());
+}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  CSM_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::Num(double value) { return Num(value, 3); }
+
+std::string ResultTable::Num(double value, int decimals) {
+  return StrFormat("%.*f", decimals, value);
+}
+
+std::string ResultTable::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string ResultTable::ToCsv() const {
+  std::ostringstream os;
+  os << Join(columns_, ",") << "\n";
+  for (const auto& row : rows_) os << Join(row, ",") << "\n";
+  return os.str();
+}
+
+void ResultTable::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace csm

@@ -1,0 +1,46 @@
+// Aligned-table / CSV reporting for the experiment benches: every bench
+// prints one ResultTable whose rows are the series of the paper figure it
+// regenerates.
+
+#ifndef CSM_HARNESS_REPORT_H_
+#define CSM_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace csm {
+
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> columns);
+
+  const std::string& title() const { return title_; }
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with 3 decimals (convenience for AddRow).
+  static std::string Num(double value);
+  static std::string Num(double value, int decimals);
+
+  /// Column-aligned plain-text rendering with the title banner.
+  std::string ToString() const;
+
+  /// CSV rendering (header + rows, no title).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_HARNESS_REPORT_H_

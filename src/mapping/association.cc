@@ -1,0 +1,253 @@
+#include "mapping/association.h"
+
+// GCC 12 emits a spurious -Wmaybe-uninitialized for the fully
+// default-constructed JoinEdge (std::optional member) under -O2.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace csm {
+namespace {
+
+const View* FindView(const std::vector<View>& views, const std::string& name) {
+  for (const View& view : views) {
+    if (view.name() == name) return &view;
+  }
+  return nullptr;
+}
+
+/// Simple 1-clause condition accessors; nullopt if the condition is not a
+/// single clause.
+const ConditionClause* SingleClause(const View& view) {
+  if (view.condition().NumAttributes() != 1) return nullptr;
+  return &view.condition().clauses()[0];
+}
+
+bool DisjointValues(const ConditionClause& a, const ConditionClause& b) {
+  for (const Value& value : a.values) {
+    if (b.Matches(value)) return false;
+  }
+  return true;
+}
+
+/// Keys of `relation` in `constraints` whose attribute sets also key
+/// `other` (shared X for join 1/2).
+std::vector<std::vector<std::string>> SharedKeys(
+    const ConstraintSet& constraints, const std::string& relation,
+    const std::string& other) {
+  std::vector<std::vector<std::string>> out;
+  for (const Key* key : constraints.KeysOf(relation)) {
+    if (constraints.HasKey(other, key->attributes)) {
+      out.push_back(key->attributes);
+    }
+  }
+  return out;
+}
+
+/// True when `view` has a contextual FK on exactly `x` (condition (b) of
+/// join 1 / join 2).
+bool HasContextualFkOn(const ConstraintSet& constraints,
+                       const std::string& view,
+                       const std::vector<std::string>& x) {
+  for (const ContextualForeignKey& cfk : constraints.contextual_foreign_keys) {
+    if (cfk.view == view && cfk.fk_attributes == x) return true;
+  }
+  return false;
+}
+
+struct UnionFind {
+  std::vector<size_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent[ra] = rb;
+    return true;
+  }
+};
+
+}  // namespace
+
+const char* JoinRuleKindToString(JoinRuleKind kind) {
+  switch (kind) {
+    case JoinRuleKind::kForeignKey:
+      return "fk";
+    case JoinRuleKind::kJoin1:
+      return "join1";
+    case JoinRuleKind::kJoin2:
+      return "join2";
+    case JoinRuleKind::kJoin3:
+      return "join3";
+  }
+  return "unknown";
+}
+
+std::string JoinEdge::ToString() const {
+  std::string out = left + " ⋈ " + right + " on (";
+  for (size_t i = 0; i < left_attributes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += left + "." + left_attributes[i] + " = " + right + "." +
+           right_attributes[i];
+  }
+  out += ") [" + std::string(JoinRuleKindToString(rule));
+  if (filter_attribute.has_value()) {
+    out += ", " + right + "." + *filter_attribute + " = " +
+           filter_value.ToString();
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<JoinEdge> DeriveJoinEdges(const std::vector<std::string>& relations,
+                                      const std::vector<View>& views,
+                                      const ConstraintSet& constraints) {
+  std::vector<JoinEdge> edges;
+  std::set<std::string> in_scope(relations.begin(), relations.end());
+
+  // Clio rule: (propagated) foreign keys between in-scope relations.
+  for (const ForeignKey& fk : constraints.foreign_keys) {
+    if (in_scope.count(fk.referencing) == 0 ||
+        in_scope.count(fk.referenced) == 0) {
+      continue;
+    }
+    if (fk.referencing == fk.referenced) continue;
+    JoinEdge edge;
+    edge.left = fk.referencing;
+    edge.right = fk.referenced;
+    edge.left_attributes = fk.fk_attributes;
+    edge.right_attributes = fk.key_attributes;
+    edge.rule = JoinRuleKind::kForeignKey;
+    edges.push_back(std::move(edge));
+  }
+
+  // (join 3): contextual FK from an in-scope view to an in-scope relation.
+  for (const ContextualForeignKey& cfk : constraints.contextual_foreign_keys) {
+    if (in_scope.count(cfk.view) == 0 ||
+        in_scope.count(cfk.referenced) == 0) {
+      continue;
+    }
+    if (cfk.view == cfk.referenced) continue;
+    JoinEdge edge;
+    edge.left = cfk.view;
+    edge.right = cfk.referenced;
+    edge.left_attributes = cfk.fk_attributes;
+    edge.right_attributes = cfk.key_attributes;
+    edge.rule = JoinRuleKind::kJoin3;
+    edge.filter_attribute.emplace(cfk.referenced_context_attribute);
+    edge.filter_value = cfk.context_value;
+    edges.push_back(std::move(edge));
+  }
+
+  // (join 1) and (join 2): pairs of in-scope views over the same base.
+  for (size_t i = 0; i < relations.size(); ++i) {
+    const View* v1 = FindView(views, relations[i]);
+    if (v1 == nullptr) continue;
+    const ConditionClause* c1 = SingleClause(*v1);
+    if (c1 == nullptr) continue;
+    for (size_t j = i + 1; j < relations.size(); ++j) {
+      const View* v2 = FindView(views, relations[j]);
+      if (v2 == nullptr) continue;
+      if (v1->base_table() != v2->base_table()) continue;
+      const ConditionClause* c2 = SingleClause(*v2);
+      if (c2 == nullptr) continue;
+
+      const bool same_projection = v1->projection() == v2->projection();
+      JoinRuleKind rule;
+      if (same_projection && c1->attribute == c2->attribute &&
+          DisjointValues(*c1, *c2)) {
+        // (join 1): same attributes, same condition attribute, different
+        // (disjoint) values.
+        rule = JoinRuleKind::kJoin1;
+      } else if (!same_projection && c1->attribute == c2->attribute &&
+                 c1->values == c2->values) {
+        // (join 2): different attributes, *same* condition.
+        rule = JoinRuleKind::kJoin2;
+      } else {
+        continue;
+      }
+
+      for (const auto& x : SharedKeys(constraints, v1->name(), v2->name())) {
+        // Both views must carry a (contextual) FK on X back to a common
+        // relation (condition (b) of the rules).
+        if (!HasContextualFkOn(constraints, v1->name(), x) ||
+            !HasContextualFkOn(constraints, v2->name(), x)) {
+          continue;
+        }
+        JoinEdge edge;
+        edge.left = v1->name();
+        edge.right = v2->name();
+        edge.left_attributes = x;
+        edge.right_attributes = x;
+        edge.rule = rule;
+        edges.push_back(std::move(edge));
+        break;  // one join per pair suffices
+      }
+    }
+  }
+  return edges;
+}
+
+std::string LogicalTable::ToString() const {
+  std::string out = "logical-table {";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += relations[i];
+  }
+  out += "}";
+  for (const JoinEdge& edge : joins) {
+    out += "\n  " + edge.ToString();
+  }
+  return out;
+}
+
+std::vector<LogicalTable> AssembleLogicalTables(
+    const std::vector<std::string>& relations,
+    const std::vector<JoinEdge>& edges) {
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < relations.size(); ++i) index[relations[i]] = i;
+
+  UnionFind uf(relations.size());
+  std::vector<JoinEdge> spanning;
+  for (const JoinEdge& edge : edges) {
+    auto li = index.find(edge.left);
+    auto ri = index.find(edge.right);
+    if (li == index.end() || ri == index.end()) continue;
+    if (uf.Union(li->second, ri->second)) {
+      spanning.push_back(edge);
+    }
+  }
+
+  // Group relations by component root, preserving input order.
+  std::map<size_t, LogicalTable> components;
+  std::vector<size_t> order;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    size_t root = uf.Find(i);
+    if (components.find(root) == components.end()) order.push_back(root);
+    components[root].relations.push_back(relations[i]);
+  }
+  for (const JoinEdge& edge : spanning) {
+    size_t root = uf.Find(index[edge.left]);
+    components[root].joins.push_back(edge);
+  }
+
+  std::vector<LogicalTable> out;
+  out.reserve(order.size());
+  for (size_t root : order) out.push_back(std::move(components[root]));
+  return out;
+}
+
+}  // namespace csm

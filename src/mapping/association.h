@@ -1,0 +1,66 @@
+// Semantic association of attributes across views and base tables
+// (Section 4.3): derive join edges with Clio's foreign-key rule plus the
+// paper's new rules (join 1), (join 2), (join 3), then group relations into
+// logical tables.
+
+#ifndef CSM_MAPPING_ASSOCIATION_H_
+#define CSM_MAPPING_ASSOCIATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/constraints.h"
+#include "relational/view.h"
+
+namespace csm {
+
+enum class JoinRuleKind {
+  kForeignKey,  // Clio: outer-join on a (possibly propagated) foreign key
+  kJoin1,       // views over the same attrs of one base, different values
+  kJoin2,       // views over different attrs of one base, same condition
+  kJoin3,       // contextual foreign key from a view to a relation
+};
+
+const char* JoinRuleKindToString(JoinRuleKind kind);
+
+/// A derived (outer-)join between two relations on attribute equality,
+/// optionally with a constant filter on the right side (join 3's B = v).
+struct JoinEdge {
+  std::string left;
+  std::string right;
+  std::vector<std::string> left_attributes;
+  std::vector<std::string> right_attributes;
+  JoinRuleKind rule = JoinRuleKind::kForeignKey;
+  /// join 3 only: require right.`filter_attribute` = `filter_value`.
+  std::optional<std::string> filter_attribute;
+  Value filter_value;
+
+  std::string ToString() const;
+};
+
+/// Derives all join edges among `relations` (view names and/or base-table
+/// names).  `views` supplies the definitions of any views among them;
+/// `constraints` must already contain the propagated view constraints.
+std::vector<JoinEdge> DeriveJoinEdges(const std::vector<std::string>& relations,
+                                      const std::vector<View>& views,
+                                      const ConstraintSet& constraints);
+
+/// A logical table: a connected set of relations plus the spanning join
+/// edges that group their attributes (Section 4.1 (a)).
+struct LogicalTable {
+  std::vector<std::string> relations;
+  std::vector<JoinEdge> joins;
+
+  std::string ToString() const;
+};
+
+/// Partitions `relations` into logical tables using `edges` (union-find);
+/// each component keeps a spanning subset of the edges in input order.
+std::vector<LogicalTable> AssembleLogicalTables(
+    const std::vector<std::string>& relations,
+    const std::vector<JoinEdge>& edges);
+
+}  // namespace csm
+
+#endif  // CSM_MAPPING_ASSOCIATION_H_

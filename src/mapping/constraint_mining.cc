@@ -1,0 +1,120 @@
+#include "mapping/constraint_mining.h"
+
+#include <set>
+
+namespace csm {
+namespace {
+
+/// True when the projection of `instance` onto `cols` is duplicate-free and
+/// NULL-free.
+bool IsUniqueProjection(const Table& instance,
+                        const std::vector<size_t>& cols) {
+  std::set<std::vector<std::string>> seen;
+  for (const Row& row : instance.rows()) {
+    std::vector<std::string> key;
+    key.reserve(cols.size());
+    for (size_t c : cols) {
+      if (row[c].is_null()) return false;
+      // Type-tagged rendering keeps Int(1) distinct from String("1").
+      key.push_back(std::to_string(static_cast<int>(row[c].type())) + ":" +
+                    row[c].ToString());
+    }
+    if (!seen.insert(std::move(key)).second) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Key> MineKeys(const Table& instance, const MiningOptions& options) {
+  std::vector<Key> out;
+  if (instance.num_rows() == 0) return out;
+  const size_t n = instance.schema().num_attributes();
+
+  std::vector<bool> single_key(n, false);
+  // Single-attribute keys.
+  for (size_t c = 0; c < n; ++c) {
+    if (IsUniqueProjection(instance, {c})) {
+      single_key[c] = true;
+      out.push_back(
+          Key{instance.name(), {instance.schema().attribute(c).name}});
+    }
+  }
+  if (options.max_key_size < 2) return out;
+
+  // Pairs; skip pairs containing a single-attribute key when minimal-only.
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (options.minimal_keys_only && (single_key[a] || single_key[b])) {
+        continue;
+      }
+      if (IsUniqueProjection(instance, {a, b})) {
+        out.push_back(Key{instance.name(),
+                          {instance.schema().attribute(a).name,
+                           instance.schema().attribute(b).name}});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ForeignKey> MineForeignKeys(
+    const std::vector<const Table*>& tables, const ConstraintSet& known_keys,
+    const MiningOptions& options) {
+  std::vector<ForeignKey> out;
+  if (!options.mine_foreign_keys) return out;
+
+  for (const Table* referenced : tables) {
+    // Single-attribute keys of the referenced table.
+    for (const Key& key : known_keys.keys) {
+      if (key.relation != referenced->name() || key.attributes.size() != 1) {
+        continue;
+      }
+      const std::string& key_attr = key.attributes[0];
+      std::set<Value> key_values;
+      for (const auto& [value, count] :
+           referenced->ValueCounts(key_attr)) {
+        key_values.insert(value);
+      }
+      if (key_values.empty()) continue;
+
+      for (const Table* referencing : tables) {
+        for (const auto& attr : referencing->schema().attributes()) {
+          if (referencing == referenced && attr.name == key_attr) continue;
+          const auto counts = referencing->ValueCounts(attr.name);
+          if (counts.size() < options.min_fk_distinct_values) continue;
+          bool included = true;
+          for (const auto& [value, count] : counts) {
+            if (key_values.count(value) == 0) {
+              included = false;
+              break;
+            }
+          }
+          if (included) {
+            out.push_back(ForeignKey{referencing->name(),
+                                     {attr.name},
+                                     referenced->name(),
+                                     {key_attr}});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ConstraintSet MineConstraints(const Database& db,
+                              const MiningOptions& options) {
+  ConstraintSet constraints;
+  std::vector<const Table*> tables;
+  for (const Table& table : db.tables()) {
+    tables.push_back(&table);
+    for (Key& key : MineKeys(table, options)) constraints.Add(std::move(key));
+  }
+  for (ForeignKey& fk : MineForeignKeys(tables, constraints, options)) {
+    constraints.Add(std::move(fk));
+  }
+  return constraints;
+}
+
+}  // namespace csm

@@ -1,0 +1,49 @@
+// Constraint mining from sample data (Section 4.2 method (a): "employ
+// constraint mining tools on sample data to discover keys and (contextual)
+// foreign keys on views, as Clio does ... on base tables").
+//
+// Mined constraints hold on the sample; like all mined constraints they are
+// hypotheses, not guarantees — the propagation rules of
+// mapping/propagation.h are the sound companion mechanism.
+
+#ifndef CSM_MAPPING_CONSTRAINT_MINING_H_
+#define CSM_MAPPING_CONSTRAINT_MINING_H_
+
+#include "mapping/constraints.h"
+#include "relational/table.h"
+
+namespace csm {
+
+struct MiningOptions {
+  /// Maximum attributes in a mined key (1 = single-attribute keys only).
+  size_t max_key_size = 2;
+  /// Do not mine composite keys when a single-attribute key subsumes them.
+  bool minimal_keys_only = true;
+  /// FK mining: the referencing column's distinct non-null values must all
+  /// appear in the referenced key column.
+  bool mine_foreign_keys = true;
+  /// FK mining requires at least this many distinct referencing values
+  /// (sparse columns produce spurious inclusions).
+  size_t min_fk_distinct_values = 2;
+};
+
+/// Mines keys of `instance`: attribute sets of size <= max_key_size whose
+/// non-null projections are duplicate-free.  Columns that contain NULLs are
+/// not key candidates.
+std::vector<Key> MineKeys(const Table& instance,
+                          const MiningOptions& options = {});
+
+/// Mines single-attribute foreign keys across `tables`: R2[y] ⊆ R1[x] where
+/// x is a mined (or supplied) key of R1 and the value-inclusion holds on
+/// the sample.  Self-references of an attribute to itself are skipped.
+std::vector<ForeignKey> MineForeignKeys(const std::vector<const Table*>& tables,
+                                        const ConstraintSet& known_keys,
+                                        const MiningOptions& options = {});
+
+/// Convenience: mine keys of every table then FKs between them.
+ConstraintSet MineConstraints(const Database& db,
+                              const MiningOptions& options = {});
+
+}  // namespace csm
+
+#endif  // CSM_MAPPING_CONSTRAINT_MINING_H_

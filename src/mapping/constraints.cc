@@ -1,0 +1,94 @@
+#include "mapping/constraints.h"
+
+#include <algorithm>
+
+namespace csm {
+namespace {
+
+std::string JoinAttrs(const std::vector<std::string>& attrs) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Key::ToString() const {
+  return relation + "[" + JoinAttrs(attributes) + "] -> " + relation;
+}
+
+std::string ForeignKey::ToString() const {
+  return referencing + "[" + JoinAttrs(fk_attributes) + "] ⊆ " + referenced +
+         "[" + JoinAttrs(key_attributes) + "]";
+}
+
+std::string ContextualForeignKey::ToString() const {
+  return view + "[" + JoinAttrs(fk_attributes) + ", " + context_attribute +
+         " = " + context_value.ToString() + "] ⊆ " + referenced + "[" +
+         JoinAttrs(key_attributes) + ", " + referenced_context_attribute + "]";
+}
+
+void ConstraintSet::Add(Key key) {
+  if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+    keys.push_back(std::move(key));
+  }
+}
+
+void ConstraintSet::Add(ForeignKey fk) {
+  if (std::find(foreign_keys.begin(), foreign_keys.end(), fk) ==
+      foreign_keys.end()) {
+    foreign_keys.push_back(std::move(fk));
+  }
+}
+
+void ConstraintSet::Add(ContextualForeignKey cfk) {
+  if (std::find(contextual_foreign_keys.begin(),
+                contextual_foreign_keys.end(),
+                cfk) == contextual_foreign_keys.end()) {
+    contextual_foreign_keys.push_back(std::move(cfk));
+  }
+}
+
+void ConstraintSet::Merge(const ConstraintSet& other) {
+  for (const auto& key : other.keys) Add(key);
+  for (const auto& fk : other.foreign_keys) Add(fk);
+  for (const auto& cfk : other.contextual_foreign_keys) Add(cfk);
+}
+
+std::vector<const Key*> ConstraintSet::KeysOf(std::string_view relation) const {
+  std::vector<const Key*> out;
+  for (const Key& key : keys) {
+    if (key.relation == relation) out.push_back(&key);
+  }
+  return out;
+}
+
+bool ConstraintSet::HasKey(std::string_view relation,
+                           const std::vector<std::string>& attributes) const {
+  for (const Key& key : keys) {
+    if (key.relation != relation) continue;
+    bool covered = true;
+    for (const std::string& key_attr : key.attributes) {
+      if (std::find(attributes.begin(), attributes.end(), key_attr) ==
+          attributes.end()) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) return true;
+  }
+  return false;
+}
+
+std::string ConstraintSet::ToString() const {
+  std::string out;
+  for (const auto& key : keys) out += key.ToString() + "\n";
+  for (const auto& fk : foreign_keys) out += fk.ToString() + "\n";
+  for (const auto& cfk : contextual_foreign_keys) out += cfk.ToString() + "\n";
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,101 @@
+// Keys, foreign keys and contextual foreign keys (Section 4.2).
+//
+// Keys and foreign keys are the classical notions extended so that either
+// side may be a view.  A contextual foreign key
+//     V1[Y, a = v]  ⊆  R[X, B]
+// states that the Y attributes of view V1, augmented with the constant v as
+// the value of attribute a (V1's selection constant, not necessarily in
+// att(V1)), reference the key [X, B] of R.
+
+#ifndef CSM_MAPPING_CONSTRAINTS_H_
+#define CSM_MAPPING_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace csm {
+
+/// R[X] -> R: the X attributes uniquely identify tuples of `relation`
+/// (a base table or a view).
+struct Key {
+  std::string relation;
+  std::vector<std::string> attributes;
+
+  std::string ToString() const;
+  friend bool operator==(const Key& a, const Key& b) {
+    return a.relation == b.relation && a.attributes == b.attributes;
+  }
+};
+
+/// R2[Y] ⊆ R1[X]: the Y attributes of `referencing` reference key X of
+/// `referenced`.  Either side may be a view.
+struct ForeignKey {
+  std::string referencing;
+  std::vector<std::string> fk_attributes;  // Y
+  std::string referenced;
+  std::vector<std::string> key_attributes;  // X
+
+  std::string ToString() const;
+  friend bool operator==(const ForeignKey& a, const ForeignKey& b) {
+    return a.referencing == b.referencing &&
+           a.fk_attributes == b.fk_attributes &&
+           a.referenced == b.referenced &&
+           a.key_attributes == b.key_attributes;
+  }
+};
+
+/// V1[Y, a = v] ⊆ R[X, B] (Section 4.2).
+struct ContextualForeignKey {
+  std::string view;                         // V1
+  std::vector<std::string> fk_attributes;   // Y
+  std::string context_attribute;            // a
+  Value context_value;                      // v
+  std::string referenced;                   // R
+  std::vector<std::string> key_attributes;  // X
+  std::string referenced_context_attribute;  // B
+
+  std::string ToString() const;
+  friend bool operator==(const ContextualForeignKey& a,
+                         const ContextualForeignKey& b) {
+    return a.view == b.view && a.fk_attributes == b.fk_attributes &&
+           a.context_attribute == b.context_attribute &&
+           a.context_value == b.context_value &&
+           a.referenced == b.referenced &&
+           a.key_attributes == b.key_attributes &&
+           a.referenced_context_attribute == b.referenced_context_attribute;
+  }
+};
+
+/// A bag of constraints over one schema (base tables and views together).
+struct ConstraintSet {
+  std::vector<Key> keys;
+  std::vector<ForeignKey> foreign_keys;
+  std::vector<ContextualForeignKey> contextual_foreign_keys;
+
+  void Add(Key key);
+  void Add(ForeignKey fk);
+  void Add(ContextualForeignKey cfk);
+
+  /// Merges `other` into this set (deduplicating).
+  void Merge(const ConstraintSet& other);
+
+  /// All keys declared on `relation`.
+  std::vector<const Key*> KeysOf(std::string_view relation) const;
+
+  /// True if `attributes` is (a superset of) some key of `relation`.
+  bool HasKey(std::string_view relation,
+              const std::vector<std::string>& attributes) const;
+
+  size_t size() const {
+    return keys.size() + foreign_keys.size() +
+           contextual_foreign_keys.size();
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace csm
+
+#endif  // CSM_MAPPING_CONSTRAINTS_H_

@@ -1,0 +1,35 @@
+// Execution of mapping queries on source instances, so a generated mapping
+// can be *run*: materialize the logical table's relations (views included),
+// full-outer-join them along the derived join edges, then project into the
+// target schema, generating Skolem terms for uncovered string attributes.
+
+#ifndef CSM_MAPPING_EXECUTOR_H_
+#define CSM_MAPPING_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/query_gen.h"
+#include "relational/table.h"
+#include "relational/view.h"
+
+namespace csm {
+
+/// Executes one mapping query.  `views` must define every view relation the
+/// query mentions; `target_schema` is the schema of the target table being
+/// populated.  Exact duplicate output rows are collapsed.
+StatusOr<Table> ExecuteMapping(const MappingQuery& query,
+                               const Database& source,
+                               const std::vector<View>& views,
+                               const TableSchema& target_schema);
+
+/// Executes a batch of mapping queries, unioning the results per target
+/// table.  Tables of `target_schema` with no queries come back empty.
+StatusOr<Database> ExecuteMappings(const std::vector<MappingQuery>& queries,
+                                   const Database& source,
+                                   const std::vector<View>& views,
+                                   const Schema& target_schema);
+
+}  // namespace csm
+
+#endif  // CSM_MAPPING_EXECUTOR_H_

@@ -1,0 +1,111 @@
+#include "mapping/propagation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace csm {
+namespace {
+
+/// att(V): the view's projection, or all base attributes when select-*.
+std::vector<std::string> ViewAttributes(const View& view,
+                                        const Database* source_sample) {
+  if (view.has_projection()) return view.projection();
+  if (source_sample != nullptr) {
+    const Table* base = source_sample->FindTable(view.base_table());
+    if (base != nullptr) {
+      std::vector<std::string> out;
+      for (const auto& attr : base->schema().attributes()) {
+        out.push_back(attr.name);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+bool Contains(const std::vector<std::string>& attrs, const std::string& name) {
+  return std::find(attrs.begin(), attrs.end(), name) != attrs.end();
+}
+
+bool ContainsAll(const std::vector<std::string>& attrs,
+                 const std::vector<std::string>& subset) {
+  for (const std::string& name : subset) {
+    if (!Contains(attrs, name)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ConstraintSet PropagateConstraints(const PropagationInput& input) {
+  ConstraintSet derived;
+
+  for (const View& view : input.views) {
+    const std::vector<std::string> view_attrs =
+        ViewAttributes(view, input.source_sample);
+    if (view_attrs.empty()) continue;
+    const Condition& condition = view.condition();
+    const bool simple_equality = condition.NumAttributes() == 1 &&
+                                 condition.clauses()[0].values.size() == 1;
+    const std::string cond_attr =
+        condition.NumAttributes() == 1 ? condition.clauses()[0].attribute : "";
+
+    for (const Key& key : input.base_constraints.keys) {
+      if (key.relation != view.base_table()) continue;
+
+      // key-projection: the whole base key projects into the view.
+      if (ContainsAll(view_attrs, key.attributes)) {
+        derived.Add(Key{view.name(), key.attributes});
+      }
+
+      if (simple_equality && Contains(key.attributes, cond_attr)) {
+        // X = key attributes minus the selection attribute a.
+        std::vector<std::string> x;
+        for (const std::string& attr : key.attributes) {
+          if (attr != cond_attr) x.push_back(attr);
+        }
+        if (!x.empty() && ContainsAll(view_attrs, x)) {
+          const Value& v = condition.clauses()[0].values[0];
+          // contextual propagation: V[X] -> V.
+          derived.Add(Key{view.name(), x});
+          // contextual constraint: V[X, a = v] ⊆ R1[X, a].
+          derived.Add(ContextualForeignKey{view.name(), x, cond_attr, v,
+                                           view.base_table(), x, cond_attr});
+        }
+      }
+
+      // view-referencing: condition covers the whole domain of a ∈ X.
+      if (condition.NumAttributes() == 1 &&
+          Contains(key.attributes, cond_attr) &&
+          ContainsAll(view_attrs, key.attributes) &&
+          input.source_sample != nullptr) {
+        const Table* base = input.source_sample->FindTable(view.base_table());
+        if (base != nullptr && base->schema().HasAttribute(cond_attr)) {
+          std::set<Value> domain;
+          for (const auto& [value, count] : base->ValueCounts(cond_attr)) {
+            domain.insert(value);
+          }
+          const auto& clause_values = condition.clauses()[0].values;
+          std::set<Value> covered(clause_values.begin(), clause_values.end());
+          if (!domain.empty() && domain == covered) {
+            derived.Add(ForeignKey{view.base_table(), key.attributes,
+                                   view.name(), key.attributes});
+          }
+        }
+      }
+    }
+
+    // FK-propagation: base-table FKs whose referencing attributes survive
+    // the projection.
+    for (const ForeignKey& fk : input.base_constraints.foreign_keys) {
+      if (fk.referencing != view.base_table()) continue;
+      if (ContainsAll(view_attrs, fk.fk_attributes)) {
+        derived.Add(ForeignKey{view.name(), fk.fk_attributes, fk.referenced,
+                               fk.key_attributes});
+      }
+    }
+  }
+  return derived;
+}
+
+}  // namespace csm

@@ -1,0 +1,45 @@
+// Constraint propagation from base tables to views (Section 4.2, method
+// (b)): sound — but deliberately incomplete, since Theorem 4.1 shows the
+// general propagation problem for keys and (contextual) foreign keys of SP
+// views is undecidable — inference rules deriving view constraints from
+// base-table constraints.
+//
+// Implemented rules (V is a view on R1 via "select Y from R1 where c"):
+//   key-projection:       R1[X] -> R1, X ⊆ att(V)        ⇒  V[X] -> V
+//   contextual propagation: R1[X, a] -> R1, c is (a = v) ⇒  V[X] -> V
+//   contextual constraint:  R1[X, a] -> R1, c is (a = v) ⇒
+//                             V[X, a = v] ⊆ R1[X, a]
+//   FK-propagation:        R1[Y] ⊆ R0[X], Y ⊆ att(V)     ⇒  V[Y] ⊆ R0[X]
+//   view-referencing:      R1[X] -> R1, X ⊆ att(V), a ∈ X,
+//                          c is (a IN {v1..vn}) covering a's domain
+//                                                        ⇒  R1[X] ⊆ V[X]
+
+#ifndef CSM_MAPPING_PROPAGATION_H_
+#define CSM_MAPPING_PROPAGATION_H_
+
+#include <vector>
+
+#include "mapping/constraints.h"
+#include "relational/table.h"
+#include "relational/view.h"
+
+namespace csm {
+
+struct PropagationInput {
+  /// Views to derive constraints for.
+  std::vector<View> views;
+  /// Declared or mined constraints on base tables (and possibly views).
+  ConstraintSet base_constraints;
+  /// Sample of the source database, used to approximate attribute domains
+  /// for the view-referencing rule; may be null to disable that rule.
+  const Database* source_sample = nullptr;
+};
+
+/// Applies all rules to fixpoint-free single pass (the rules derive only
+/// from base constraints, so one pass suffices) and returns the derived
+/// view constraints.
+ConstraintSet PropagateConstraints(const PropagationInput& input);
+
+}  // namespace csm
+
+#endif  // CSM_MAPPING_PROPAGATION_H_

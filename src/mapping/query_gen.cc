@@ -1,0 +1,155 @@
+#include "mapping/query_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace csm {
+
+std::string MatchRelation(const Match& match, const std::vector<View>& views) {
+  if (match.condition.is_true()) return match.source.table;
+  // Several views may share the base table and condition but differ in
+  // projection (Example 4.5's V_i vs U_i); prefer one that exposes the
+  // matched source attribute.
+  const View* fallback = nullptr;
+  for (const View& view : views) {
+    if (view.base_table() != match.source.table ||
+        view.condition() != match.condition) {
+      continue;
+    }
+    if (!view.has_projection()) return view.name();
+    const auto& projection = view.projection();
+    if (std::find(projection.begin(), projection.end(),
+                  match.source.attribute) != projection.end()) {
+      return view.name();
+    }
+    if (fallback == nullptr) fallback = &view;
+  }
+  return fallback == nullptr ? "" : fallback->name();
+}
+
+std::string MappingQuery::ToSql(const std::vector<View>& views) const {
+  auto relation_sql = [&](const std::string& name) -> std::string {
+    for (const View& view : views) {
+      if (view.name() != name) continue;
+      std::string cols = "*";
+      if (view.has_projection()) {
+        cols.clear();
+        for (size_t i = 0; i < view.projection().size(); ++i) {
+          if (i > 0) cols += ", ";
+          cols += view.projection()[i];
+        }
+      }
+      return "(select " + cols + " from " + view.base_table() + " where " +
+             view.condition().ToString() + ") as \"" + name + "\"";
+    }
+    return name;
+  };
+
+  std::string sql = "insert into " + target_table + "\nselect\n";
+  for (size_t i = 0; i < attr_mappings.size(); ++i) {
+    const TargetAttrMapping& m = attr_mappings[i];
+    sql += "  ";
+    if (m.source.has_value()) {
+      sql += "\"" + m.source->first + "\"." + m.source->second;
+    } else if (m.skolem) {
+      sql += "sk_" + target_table + "_" + m.target_attribute + "(...)";
+    } else {
+      sql += "null";
+    }
+    sql += " as " + m.target_attribute;
+    if (i + 1 < attr_mappings.size()) sql += ",";
+    sql += "\n";
+  }
+  sql += "from " + relation_sql(logical.relations.empty()
+                                    ? std::string("<empty>")
+                                    : logical.relations[0]);
+  std::set<std::string> joined;
+  if (!logical.relations.empty()) joined.insert(logical.relations[0]);
+  for (const JoinEdge& edge : logical.joins) {
+    const std::string& next = joined.count(edge.left) ? edge.right : edge.left;
+    sql += "\n  full outer join " + relation_sql(next) + " on ";
+    for (size_t i = 0; i < edge.left_attributes.size(); ++i) {
+      if (i > 0) sql += " and ";
+      sql += "\"" + edge.left + "\"." + edge.left_attributes[i] + " = \"" +
+             edge.right + "\"." + edge.right_attributes[i];
+    }
+    if (edge.filter_attribute.has_value()) {
+      sql += " and \"" + edge.right + "\"." + *edge.filter_attribute + " = " +
+             edge.filter_value.ToString();
+    }
+    joined.insert(next);
+  }
+  sql += ";";
+  return sql;
+}
+
+std::vector<MappingQuery> GenerateMappings(const Schema& target_schema,
+                                           const MatchList& matches,
+                                           const std::vector<View>& views,
+                                           const ConstraintSet& constraints) {
+  std::vector<MappingQuery> out;
+
+  // Group matches by target table.
+  std::map<std::string, MatchList> by_target;
+  for (const Match& match : matches) {
+    by_target[match.target.table].push_back(match);
+  }
+
+  for (const auto& [target_table, table_matches] : by_target) {
+    const TableSchema* target = target_schema.FindTable(target_table);
+    if (target == nullptr) continue;
+
+    // Relations contributing to this target table, in first-seen order.
+    std::vector<std::string> relations;
+    std::map<std::string, std::string> relation_of_match;  // keyed by ptr idx
+    for (const Match& match : table_matches) {
+      std::string relation = MatchRelation(match, views);
+      if (relation.empty()) continue;
+      if (std::find(relations.begin(), relations.end(), relation) ==
+          relations.end()) {
+        relations.push_back(relation);
+      }
+    }
+    if (relations.empty()) continue;
+
+    std::vector<JoinEdge> edges =
+        DeriveJoinEdges(relations, views, constraints);
+    std::vector<LogicalTable> logical_tables =
+        AssembleLogicalTables(relations, edges);
+
+    for (LogicalTable& logical : logical_tables) {
+      MappingQuery query;
+      query.target_table = target_table;
+      query.logical = std::move(logical);
+      std::set<std::string> in_component(query.logical.relations.begin(),
+                                         query.logical.relations.end());
+
+      for (const auto& attr : target->attributes()) {
+        TargetAttrMapping mapping;
+        mapping.target_attribute = attr.name;
+        // Highest-confidence match into this attribute from a relation in
+        // the component.
+        for (const Match& match : table_matches) {
+          if (match.target.attribute != attr.name) continue;
+          std::string relation = MatchRelation(match, views);
+          if (relation.empty() || in_component.count(relation) == 0) continue;
+          if (!mapping.source.has_value() ||
+              match.confidence > mapping.confidence) {
+            mapping.source = {relation, match.source.attribute};
+            mapping.confidence = match.confidence;
+          }
+        }
+        if (!mapping.source.has_value()) {
+          // Skolem strings for string targets; NULL for numerics.
+          mapping.skolem = attr.type == ValueType::kString;
+        }
+        query.attr_mappings.push_back(std::move(mapping));
+      }
+      out.push_back(std::move(query));
+    }
+  }
+  return out;
+}
+
+}  // namespace csm

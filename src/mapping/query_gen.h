@@ -1,0 +1,62 @@
+// Mapping-query generation (Section 4.1): turn accepted matches plus
+// logical tables into executable mapping queries from source relations
+// (base tables and views) to target tables, with Skolem terms for target
+// attributes the source does not cover.
+
+#ifndef CSM_MAPPING_QUERY_GEN_H_
+#define CSM_MAPPING_QUERY_GEN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/association.h"
+#include "mapping/constraints.h"
+#include "match/match_types.h"
+#include "relational/schema.h"
+#include "relational/view.h"
+
+namespace csm {
+
+/// How one target attribute is produced.
+struct TargetAttrMapping {
+  std::string target_attribute;
+  /// Source (relation, attribute) when mapped; nullopt for Skolem/NULL.
+  std::optional<std::pair<std::string, std::string>> source;
+  /// Confidence of the match this mapping came from.
+  double confidence = 0.0;
+  /// Unmapped attributes get a Skolem term (string attributes) or NULL.
+  bool skolem = false;
+};
+
+/// A mapping query: populate `target_table` from one logical table.
+struct MappingQuery {
+  std::string target_table;
+  LogicalTable logical;
+  std::vector<TargetAttrMapping> attr_mappings;
+
+  /// SQL rendering: SELECT <exprs> FROM r1 FULL OUTER JOIN r2 ON ... with
+  /// views inlined as parenthesized subqueries.
+  std::string ToSql(const std::vector<View>& views) const;
+};
+
+/// Generates the mapping queries for every target table covered by
+/// `matches`.  `views` supplies the definitions of the view relations the
+/// matches mention (a match whose condition is non-true originates from the
+/// view with the same base table and condition).  `constraints` must
+/// already include propagated view constraints.  Returns one query per
+/// (target table, logical table) pair; Clio's map(ping) is the union of the
+/// queries sharing a target table.
+std::vector<MappingQuery> GenerateMappings(const Schema& target_schema,
+                                           const MatchList& matches,
+                                           const std::vector<View>& views,
+                                           const ConstraintSet& constraints);
+
+/// The relation name a match originates from: the matching view's name when
+/// the match has a condition, the base table otherwise.  Returns "" when a
+/// conditioned match has no corresponding view in `views`.
+std::string MatchRelation(const Match& match, const std::vector<View>& views);
+
+}  // namespace csm
+
+#endif  // CSM_MAPPING_QUERY_GEN_H_

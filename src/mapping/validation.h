@@ -1,0 +1,45 @@
+// Target-constraint validation (Section 7: "a systematic method to assure
+// that contextual schema mapping does not violate the target constraints").
+//
+// Given an instance (typically the output of ExecuteMappings) and a
+// constraint set over its schema, reports every violated key, foreign key
+// and contextual foreign key, so a mapping can be checked before being
+// trusted.
+
+#ifndef CSM_MAPPING_VALIDATION_H_
+#define CSM_MAPPING_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "mapping/constraints.h"
+#include "relational/table.h"
+#include "relational/view.h"
+
+namespace csm {
+
+/// One violated constraint occurrence.
+struct ConstraintViolation {
+  /// Rendering of the violated constraint.
+  std::string constraint;
+  /// Human-readable description of the offending tuples.
+  std::string detail;
+
+  std::string ToString() const { return constraint + ": " + detail; }
+};
+
+/// Checks every constraint in `constraints` against `instance`.  Constraints
+/// over relations absent from the instance are skipped (they cannot be
+/// checked), as are constraints mentioning attributes a relation lacks.
+/// `views` supplies definitions for constraints naming views; view
+/// relations are materialized from their base tables in `instance`.
+/// At most `max_violations_per_constraint` occurrences are reported per
+/// constraint (0 = unlimited).
+std::vector<ConstraintViolation> CheckConstraints(
+    const Database& instance, const ConstraintSet& constraints,
+    const std::vector<View>& views = {},
+    size_t max_violations_per_constraint = 3);
+
+}  // namespace csm
+
+#endif  // CSM_MAPPING_VALIDATION_H_

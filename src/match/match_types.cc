@@ -1,0 +1,22 @@
+#include "match/match_types.h"
+
+#include "common/string_util.h"
+
+namespace csm {
+
+std::string Match::ToString() const {
+  std::string out = source.ToString() + " -> " + target.ToString();
+  if (!condition.is_true()) {
+    out += condition_on_target ? " [target: " : " [";
+    out += condition.ToString() + "]";
+  }
+  out += StrFormat(" (score %.3f, conf %.3f)", score, confidence);
+  return out;
+}
+
+bool SameCorrespondence(const Match& a, const Match& b) {
+  return a.source == b.source && a.target == b.target &&
+         a.condition == b.condition;
+}
+
+}  // namespace csm

@@ -1,0 +1,47 @@
+// Match records exchanged between the standard matcher, the contextual
+// matcher and the mapping generator.
+
+#ifndef CSM_MATCH_MATCH_TYPES_H_
+#define CSM_MATCH_MATCH_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/condition.h"
+#include "relational/schema.h"
+
+namespace csm {
+
+/// A match (Rs.s, Rt.t, c) per Section 2.1: the pairing of source attribute
+/// s and target attribute t makes sense when condition c holds on the
+/// source table.  c == true and a base-table source make it a standard
+/// match; otherwise it is a contextual match.
+struct Match {
+  AttributeRef source;
+  AttributeRef target;
+  Condition condition;
+  /// When set, `condition` selects rows of the *target* table instead of
+  /// the source table (target-side contextual matching, Section 7).
+  bool condition_on_target = false;
+
+  /// Combined raw matcher score s_i (average of matcher scores).
+  double score = 0.0;
+  /// Combined confidence f_i in [0, 1] (Section 2.3 normalization).
+  double confidence = 0.0;
+
+  bool is_standard() const { return condition.is_true(); }
+
+  /// "inv.name -> book.title [type = 1] (conf 0.93)".
+  std::string ToString() const;
+};
+
+/// The list L of accepted matches.
+using MatchList = std::vector<Match>;
+
+/// True when two matches pair the same attributes under the same condition
+/// (scores ignored).
+bool SameCorrespondence(const Match& a, const Match& b);
+
+}  // namespace csm
+
+#endif  // CSM_MATCH_MATCH_TYPES_H_

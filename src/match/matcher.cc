@@ -1,0 +1,65 @@
+#include "match/matcher.h"
+
+#include "text/tokenizer.h"
+
+namespace csm {
+
+AttributeSample AttributeSample::FromTable(const Table& instance,
+                                           std::string_view attribute) {
+  size_t col = instance.schema().AttributeIndex(attribute);
+  return AttributeSample(
+      AttributeRef{instance.name(), std::string(attribute)},
+      instance.schema().attribute(col).type, instance.ValueBag(col));
+}
+
+size_t AttributeSample::NonNullCount() const {
+  size_t n = 0;
+  for (const Value& v : values_) {
+    if (!v.is_null()) ++n;
+  }
+  return n;
+}
+
+const TokenProfile& AttributeSample::QGramProfile() const {
+  if (!qgram_profile_) {
+    TokenProfile profile;
+    for (const Value& v : values_) {
+      if (v.is_null()) continue;
+      profile.AddAll(QGrams(v.ToString(), 3));
+    }
+    qgram_profile_ = std::move(profile);
+  }
+  return *qgram_profile_;
+}
+
+const TokenProfile& AttributeSample::WordProfile() const {
+  if (!word_profile_) {
+    TokenProfile profile;
+    for (const Value& v : values_) {
+      if (v.is_null()) continue;
+      profile.AddAll(WordTokens(v.ToString()));
+    }
+    word_profile_ = std::move(profile);
+  }
+  return *word_profile_;
+}
+
+const DescriptiveStats& AttributeSample::NumericStats() const {
+  if (!numeric_stats_) {
+    DescriptiveStats stats;
+    for (const Value& v : values_) {
+      if (v.IsNumeric()) stats.Add(v.AsNumeric());
+    }
+    numeric_stats_ = stats;
+  }
+  return *numeric_stats_;
+}
+
+bool AttributeSample::MostlyNumeric(double fraction) const {
+  size_t non_null = NonNullCount();
+  if (non_null == 0) return false;
+  return static_cast<double>(NumericStats().count()) >=
+         fraction * static_cast<double>(non_null);
+}
+
+}  // namespace csm

@@ -1,0 +1,100 @@
+// The base matcher framework of Section 2.3: a standard instance-based
+// schema matching system employs a variety of "matchers" that each compute
+// a raw similarity score for a (source attribute, target attribute) pair.
+
+#ifndef CSM_MATCH_MATCHER_H_
+#define CSM_MATCH_MATCHER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "stats/descriptive.h"
+#include "text/profile.h"
+
+namespace csm {
+
+/// The evidence a matcher sees for one attribute: its identity, type and
+/// value bag v(R, a).  Token profiles and numeric statistics are built
+/// lazily and cached, so a sample kept alive across many Score() calls
+/// (e.g., a target attribute compared against many candidate views) pays
+/// the tokenization cost once.
+class AttributeSample {
+ public:
+  AttributeSample() = default;
+  AttributeSample(AttributeRef ref, ValueType type, std::vector<Value> values)
+      : ref_(std::move(ref)), type_(type), values_(std::move(values)) {}
+
+  /// Builds a sample for one attribute of `instance`.
+  static AttributeSample FromTable(const Table& instance,
+                                   std::string_view attribute);
+
+  const AttributeRef& ref() const { return ref_; }
+  ValueType declared_type() const { return type_; }
+  const std::vector<Value>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+
+  /// Number of non-null values.
+  size_t NonNullCount() const;
+
+  /// Cached padded 3-gram profile over all non-null values.
+  const TokenProfile& QGramProfile() const;
+
+  /// Cached word-token profile over all non-null values.
+  const TokenProfile& WordProfile() const;
+
+  /// Cached numeric stats over the numeric values; empty accumulator when
+  /// the attribute has no numeric values.
+  const DescriptiveStats& NumericStats() const;
+
+  /// True if at least `fraction` of the non-null values are numeric.
+  bool MostlyNumeric(double fraction = 0.5) const;
+
+ private:
+  AttributeRef ref_;
+  ValueType type_ = ValueType::kString;
+  std::vector<Value> values_;
+
+  mutable std::optional<TokenProfile> qgram_profile_;
+  mutable std::optional<TokenProfile> word_profile_;
+  mutable std::optional<DescriptiveStats> numeric_stats_;
+};
+
+/// One matching heuristic.  Implementations must be stateless with respect
+/// to individual Score() calls (Prepare() may set up corpus-level state).
+class AttributeMatcher {
+ public:
+  virtual ~AttributeMatcher() = default;
+
+  /// Short identifier ("qgram", "name", ...).
+  virtual std::string Name() const = 0;
+
+  /// Relative weight in the combined confidence (default 1).
+  virtual double Weight() const { return 1.0; }
+
+  /// Whether this matcher can meaningfully score the pair (e.g., the
+  /// numeric matcher requires numeric bags on both sides).
+  virtual bool Applicable(const AttributeSample& source,
+                          const AttributeSample& target) const {
+    (void)source;
+    (void)target;
+    return true;
+  }
+
+  /// Corpus-level preparation before a batch of Score() calls; the default
+  /// does nothing.  `targets` are all target attribute samples in play.
+  virtual void Prepare(const std::vector<const AttributeSample*>& targets) {
+    (void)targets;
+  }
+
+  /// Raw similarity in [0, 1].
+  virtual double Score(const AttributeSample& source,
+                       const AttributeSample& target) const = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_MATCH_MATCHER_H_

@@ -1,0 +1,164 @@
+#include "match/matchers.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+#include "text/string_distance.h"
+#include "text/tokenizer.h"
+
+namespace csm {
+
+std::vector<std::string> NameMatcher::NameTokens(std::string_view name) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  char prev = '\0';
+  for (char c : name) {
+    const bool is_alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool is_digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (!is_alpha && !is_digit) {
+      flush();
+      prev = c;
+      continue;
+    }
+    // CamelCase hump: upper after lower starts a new token; so does an
+    // alpha/digit boundary.
+    const bool hump = std::isupper(static_cast<unsigned char>(c)) &&
+                      std::islower(static_cast<unsigned char>(prev));
+    const bool kind_change =
+        (is_digit && std::isalpha(static_cast<unsigned char>(prev))) ||
+        (is_alpha && std::isdigit(static_cast<unsigned char>(prev)));
+    if (hump || kind_change) flush();
+    current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    prev = c;
+  }
+  flush();
+  return tokens;
+}
+
+double NameMatcher::Score(const AttributeSample& source,
+                          const AttributeSample& target) const {
+  const std::string a = ToLower(source.ref().attribute);
+  const std::string b = ToLower(target.ref().attribute);
+  double edit_sim = JaroWinklerSimilarity(a, b);
+
+  TokenProfile pa, pb;
+  pa.AddAll(NameTokens(source.ref().attribute));
+  pb.AddAll(NameTokens(target.ref().attribute));
+  double token_sim = DiceSimilarity(pa, pb);
+  return std::max(edit_sim, token_sim);
+}
+
+bool QGramMatcher::Applicable(const AttributeSample& source,
+                              const AttributeSample& target) const {
+  return source.NonNullCount() > 0 && target.NonNullCount() > 0;
+}
+
+double QGramMatcher::Score(const AttributeSample& source,
+                           const AttributeSample& target) const {
+  return CosineSimilarity(source.QGramProfile(), target.QGramProfile());
+}
+
+void TfIdfTokenMatcher::Prepare(
+    const std::vector<const AttributeSample*>& targets) {
+  corpus_ = TfIdfCorpus();
+  for (const AttributeSample* sample : targets) {
+    corpus_.AddDocument(sample->WordProfile());
+  }
+}
+
+bool TfIdfTokenMatcher::Applicable(const AttributeSample& source,
+                                   const AttributeSample& target) const {
+  return !source.WordProfile().empty() && !target.WordProfile().empty();
+}
+
+double TfIdfTokenMatcher::Score(const AttributeSample& source,
+                                const AttributeSample& target) const {
+  return corpus_.WeightedCosine(source.WordProfile(), target.WordProfile());
+}
+
+bool NumericMatcher::Applicable(const AttributeSample& source,
+                                const AttributeSample& target) const {
+  return source.MostlyNumeric() && target.MostlyNumeric();
+}
+
+double NumericMatcher::Score(const AttributeSample& source,
+                             const AttributeSample& target) const {
+  const DescriptiveStats& a = source.NumericStats();
+  const DescriptiveStats& b = target.NumericStats();
+  if (a.empty() || b.empty()) return 0.0;
+
+  constexpr double kEpsilon = 1e-9;
+  const double sa = a.PopulationStdDev();
+  const double sb = b.PopulationStdDev();
+
+  // (a) Overlap of the mean +/- 2 stddev intervals (Jaccard on intervals).
+  const double lo_a = a.Mean() - 2.0 * sa, hi_a = a.Mean() + 2.0 * sa;
+  const double lo_b = b.Mean() - 2.0 * sb, hi_b = b.Mean() + 2.0 * sb;
+  const double inter =
+      std::max(0.0, std::min(hi_a, hi_b) - std::max(lo_a, lo_b));
+  const double uni = std::max(hi_a, hi_b) - std::min(lo_a, lo_b);
+  double interval_overlap;
+  if (uni < kEpsilon) {
+    // Both essentially point distributions: overlap iff equal means.
+    interval_overlap = std::abs(a.Mean() - b.Mean()) < kEpsilon ? 1.0 : 0.0;
+  } else {
+    interval_overlap = inter / uni;
+  }
+
+  // (b) Gaussian penalty on the standardized mean difference.
+  const double pooled = std::sqrt(0.5 * (sa * sa + sb * sb)) + kEpsilon;
+  const double dz = (a.Mean() - b.Mean()) / pooled;
+  const double mean_closeness = std::exp(-0.5 * dz * dz);
+
+  // (c) Spread similarity: a wide mixture centered on a narrow column is
+  // not the same distribution even though the means agree.  Applied as a
+  // multiplicative discount so far-apart distributions still score ~0.
+  const double spread_sim = (std::min(sa, sb) + kEpsilon) /
+                            (std::max(sa, sb) + kEpsilon);
+
+  const double location = 0.5 * interval_overlap + 0.5 * mean_closeness;
+  return std::clamp(location * (0.7 + 0.3 * spread_sim), 0.0, 1.0);
+}
+
+bool ValueOverlapMatcher::Applicable(const AttributeSample& source,
+                                     const AttributeSample& target) const {
+  return source.NonNullCount() > 0 && target.NonNullCount() > 0;
+}
+
+double ValueOverlapMatcher::Score(const AttributeSample& source,
+                                  const AttributeSample& target) const {
+  std::set<std::string> target_values;
+  for (const Value& v : target.values()) {
+    if (!v.is_null()) target_values.insert(v.ToString());
+  }
+  std::set<std::string> source_values;
+  for (const Value& v : source.values()) {
+    if (!v.is_null()) source_values.insert(v.ToString());
+  }
+  if (source_values.empty()) return 0.0;
+  size_t hits = 0;
+  for (const std::string& v : source_values) {
+    if (target_values.count(v) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(source_values.size());
+}
+
+std::vector<std::unique_ptr<AttributeMatcher>> DefaultMatcherSuite() {
+  std::vector<std::unique_ptr<AttributeMatcher>> suite;
+  suite.push_back(std::make_unique<NameMatcher>(0.5));
+  suite.push_back(std::make_unique<QGramMatcher>(1.0));
+  suite.push_back(std::make_unique<TfIdfTokenMatcher>(1.0));
+  suite.push_back(std::make_unique<NumericMatcher>(1.0));
+  return suite;
+}
+
+}  // namespace csm

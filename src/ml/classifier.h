@@ -1,0 +1,39 @@
+// Single-label classifier interface used by ClusteredViewGen (Fig. 6).
+//
+// A classifier maps a scalar Value (a cell of the evidence attribute h) to
+// a label string.  For SrcClassInfer labels are the categorical values of
+// l; for TgtClassInfer's per-type target classifiers labels are target
+// column names ("Book.Title").
+
+#ifndef CSM_ML_CLASSIFIER_H_
+#define CSM_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace csm {
+
+class ValueClassifier {
+ public:
+  virtual ~ValueClassifier() = default;
+
+  /// Adds one training example.  NULL inputs are ignored.
+  virtual void Train(const Value& input, const std::string& label) = 0;
+
+  /// Classifies `input`.  Returns the empty string when the classifier has
+  /// seen no training data (or cannot score the input at all).
+  virtual std::string Classify(const Value& input) const = 0;
+
+  /// Distinct labels seen during training, sorted.
+  virtual std::vector<std::string> Labels() const = 0;
+
+  /// Total number of training examples absorbed.
+  virtual size_t TrainingSize() const = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_ML_CLASSIFIER_H_

@@ -1,0 +1,63 @@
+#include "ml/gaussian_classifier.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace csm {
+
+void GaussianClassifier::Train(const Value& input, const std::string& label) {
+  if (input.is_null() || !input.IsNumeric()) return;
+  labels_[label].Add(input.AsNumeric());
+  ++total_examples_;
+}
+
+double GaussianClassifier::LogScore(double x, const std::string& label) const {
+  auto it = labels_.find(label);
+  if (it == labels_.end() || total_examples_ == 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const DescriptiveStats& stats = it->second;
+  const double prior = static_cast<double>(stats.count()) /
+                       static_cast<double>(total_examples_);
+  const double stddev = std::max(stats.SampleStdDev(), min_stddev_);
+  const double z = (x - stats.Mean()) / stddev;
+  return std::log(prior) - std::log(stddev) -
+         0.5 * std::log(2.0 * std::numbers::pi) - 0.5 * z * z;
+}
+
+std::string GaussianClassifier::Classify(const Value& input) const {
+  if (labels_.empty() || input.is_null()) return "";
+  if (!input.IsNumeric()) {
+    // Fall back to the most frequent label.
+    std::string best;
+    size_t best_count = 0;
+    for (const auto& [label, stats] : labels_) {
+      if (stats.count() > best_count) {
+        best = label;
+        best_count = stats.count();
+      }
+    }
+    return best;
+  }
+  const double x = input.AsNumeric();
+  std::string best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& [label, stats] : labels_) {
+    double score = LogScore(x, label);
+    if (score > best_score) {
+      best = label;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> GaussianClassifier::Labels() const {
+  std::vector<std::string> out;
+  out.reserve(labels_.size());
+  for (const auto& [label, stats] : labels_) out.push_back(label);
+  return out;
+}
+
+}  // namespace csm

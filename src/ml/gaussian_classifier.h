@@ -1,0 +1,42 @@
+// Per-label Gaussian ("statistical") classifier for numeric attributes
+// (Section 3.2.3: "If h is a numeric attribute, a statistical classifier
+// is used instead").
+
+#ifndef CSM_ML_GAUSSIAN_CLASSIFIER_H_
+#define CSM_ML_GAUSSIAN_CLASSIFIER_H_
+
+#include <map>
+#include <string>
+
+#include "ml/classifier.h"
+#include "stats/descriptive.h"
+
+namespace csm {
+
+/// Models each label's numeric inputs as a Gaussian and classifies by
+/// maximum posterior (Gaussian likelihood x label prior).  Non-numeric
+/// inputs fall back to the most frequent label.
+class GaussianClassifier : public ValueClassifier {
+ public:
+  /// `min_stddev` floors each label's standard deviation to keep
+  /// single-point or constant labels from producing degenerate likelihoods.
+  explicit GaussianClassifier(double min_stddev = 1e-6)
+      : min_stddev_(min_stddev) {}
+
+  void Train(const Value& input, const std::string& label) override;
+  std::string Classify(const Value& input) const override;
+  std::vector<std::string> Labels() const override;
+  size_t TrainingSize() const override { return total_examples_; }
+
+  /// Log posterior (up to the evidence term) of `label` for numeric `x`.
+  double LogScore(double x, const std::string& label) const;
+
+ private:
+  double min_stddev_;
+  size_t total_examples_ = 0;
+  std::map<std::string, DescriptiveStats> labels_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_ML_GAUSSIAN_CLASSIFIER_H_

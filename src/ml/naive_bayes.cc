@@ -1,0 +1,71 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+
+#include "text/tokenizer.h"
+
+namespace csm {
+
+void NaiveBayesClassifier::Train(const Value& input, const std::string& label) {
+  if (input.is_null()) return;
+  LabelStats& stats = labels_[label];
+  ++stats.example_count;
+  ++total_examples_;
+  for (const std::string& gram : QGrams(input.ToString(), q_)) {
+    stats.token_counts[gram] += 1.0;
+    stats.token_total += 1.0;
+    vocabulary_.insert(gram);
+  }
+}
+
+double NaiveBayesClassifier::LogScore(const Value& input,
+                                      const std::string& label) const {
+  auto it = labels_.find(label);
+  if (it == labels_.end() || total_examples_ == 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const LabelStats& stats = it->second;
+  // Smoothed log prior.
+  const double num_labels = static_cast<double>(labels_.size());
+  double score = std::log(
+      (static_cast<double>(stats.example_count) + smoothing_) /
+      (static_cast<double>(total_examples_) + smoothing_ * num_labels));
+  const double vocab = static_cast<double>(vocabulary_.size());
+  const double denom = stats.token_total + smoothing_ * (vocab + 1.0);
+  for (const std::string& gram : QGrams(input.ToString(), q_)) {
+    auto token_it = stats.token_counts.find(gram);
+    const double count =
+        token_it == stats.token_counts.end() ? 0.0 : token_it->second;
+    score += std::log((count + smoothing_) / denom);
+  }
+  return score;
+}
+
+std::string NaiveBayesClassifier::Classify(const Value& input) const {
+  if (labels_.empty() || input.is_null()) return "";
+  std::string best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  size_t best_frequency = 0;
+  for (const auto& [label, stats] : labels_) {
+    double score = LogScore(input, label);
+    // Ties break toward the more frequent label, then lexicographically
+    // (map order), for determinism.
+    if (score > best_score ||
+        (score == best_score && stats.example_count > best_frequency)) {
+      best = label;
+      best_score = score;
+      best_frequency = stats.example_count;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> NaiveBayesClassifier::Labels() const {
+  std::vector<std::string> out;
+  out.reserve(labels_.size());
+  for (const auto& [label, stats] : labels_) out.push_back(label);
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,50 @@
+// Multinomial Naive Bayes over 3-gram tokens (Section 3.2.3: "If h is a
+// text attribute, a standard Naive Bayesian classifier is used, with the
+// values tokenized into 3-grams").
+
+#ifndef CSM_ML_NAIVE_BAYES_H_
+#define CSM_ML_NAIVE_BAYES_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ml/classifier.h"
+
+namespace csm {
+
+/// Multinomial NB with Laplace smoothing.  Inputs are rendered to text
+/// (numerics via ToString) and tokenized into padded q-grams.
+class NaiveBayesClassifier : public ValueClassifier {
+ public:
+  /// `q` is the gram length (paper: 3).  `smoothing` is the Laplace alpha.
+  explicit NaiveBayesClassifier(size_t q = 3, double smoothing = 1.0)
+      : q_(q), smoothing_(smoothing) {}
+
+  void Train(const Value& input, const std::string& label) override;
+  std::string Classify(const Value& input) const override;
+  std::vector<std::string> Labels() const override;
+  size_t TrainingSize() const override { return total_examples_; }
+
+  /// Log posterior (up to the shared evidence term) of `label` for `input`;
+  /// -inf for labels never seen.  Exposed for tests and for TgtClassInfer's
+  /// tie diagnostics.
+  double LogScore(const Value& input, const std::string& label) const;
+
+ private:
+  struct LabelStats {
+    size_t example_count = 0;
+    double token_total = 0.0;
+    std::map<std::string, double> token_counts;
+  };
+
+  size_t q_;
+  double smoothing_;
+  size_t total_examples_ = 0;
+  std::map<std::string, LabelStats> labels_;
+  std::set<std::string> vocabulary_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_ML_NAIVE_BAYES_H_

@@ -1,0 +1,56 @@
+#include "relational/categorical.h"
+
+namespace csm {
+
+bool IsCategoricalAttribute(const Table& instance, std::string_view attribute,
+                            const CategoricalOptions& options) {
+  const std::map<Value, size_t> counts = instance.ValueCounts(attribute);
+  if (counts.empty()) return false;
+
+  size_t total_tuples = 0;
+  for (const auto& [value, count] : counts) total_tuples += count;
+  if (total_tuples == 0) return false;
+
+  // Main rule: more than `value_fraction` of the distinct values must each
+  // cover more than `tuple_fraction` of the tuples.
+  const double tuple_threshold =
+      options.tuple_fraction * static_cast<double>(total_tuples);
+  size_t frequent_values = 0;
+  size_t values_with_min_tuples = 0;
+  for (const auto& [value, count] : counts) {
+    if (static_cast<double>(count) > tuple_threshold) ++frequent_values;
+    if (count >= options.min_tuples_per_value) ++values_with_min_tuples;
+  }
+  const double frequent_fraction = static_cast<double>(frequent_values) /
+                                   static_cast<double>(counts.size());
+  if (frequent_fraction <= options.value_fraction) return false;
+
+  // Small-sample guard (always applied; for large samples it is implied in
+  // practice): at least `min_frequent_values` values each associated with at
+  // least `min_tuples_per_value` tuples.
+  return values_with_min_tuples >= options.min_frequent_values;
+}
+
+std::vector<std::string> CategoricalAttributes(
+    const Table& instance, const CategoricalOptions& options) {
+  std::vector<std::string> out;
+  for (const auto& attr : instance.schema().attributes()) {
+    if (IsCategoricalAttribute(instance, attr.name, options)) {
+      out.push_back(attr.name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> NonCategoricalAttributes(
+    const Table& instance, const CategoricalOptions& options) {
+  std::vector<std::string> out;
+  for (const auto& attr : instance.schema().attributes()) {
+    if (!IsCategoricalAttribute(instance, attr.name, options)) {
+      out.push_back(attr.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace csm

@@ -1,0 +1,48 @@
+// Categorical-attribute detection, per Section 2.1 of the paper:
+//
+//   "we consider an attribute a to be categorical if more than 10% of the
+//    values of a are associated with more than 1% of the tuples in our
+//    sample.  In the case of small samples, at least two values must be
+//    associated with at least two tuples."
+
+#ifndef CSM_RELATIONAL_CATEGORICAL_H_
+#define CSM_RELATIONAL_CATEGORICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace csm {
+
+/// Tunable thresholds for the categorical rule; defaults follow the paper.
+struct CategoricalOptions {
+  /// Fraction of distinct values that must be "frequent" (paper: 10%).
+  double value_fraction = 0.10;
+  /// A value is "frequent" when it covers more than this fraction of the
+  /// sample's tuples (paper: 1%).
+  double tuple_fraction = 0.01;
+  /// Small-sample guard: at least this many values must each be associated
+  /// with at least `min_tuples_per_value` tuples (paper: 2 and 2).
+  size_t min_frequent_values = 2;
+  size_t min_tuples_per_value = 2;
+};
+
+/// Applies the rule to one attribute of `instance`.  Attributes with no
+/// non-null values are never categorical.
+bool IsCategoricalAttribute(const Table& instance, std::string_view attribute,
+                            const CategoricalOptions& options = {});
+
+/// Cat(R): names of the categorical attributes of `instance`, in schema
+/// order.
+std::vector<std::string> CategoricalAttributes(
+    const Table& instance, const CategoricalOptions& options = {});
+
+/// Names of non-categorical attributes (the h candidates of
+/// ClusteredViewGen), in schema order.
+std::vector<std::string> NonCategoricalAttributes(
+    const Table& instance, const CategoricalOptions& options = {});
+
+}  // namespace csm
+
+#endif  // CSM_RELATIONAL_CATEGORICAL_H_

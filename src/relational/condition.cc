@@ -1,0 +1,98 @@
+#include "relational/condition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace csm {
+
+void ConditionClause::Normalize() {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+}
+
+bool ConditionClause::Matches(const Value& v) const {
+  if (v.is_null()) return false;
+  return std::binary_search(values.begin(), values.end(), v);
+}
+
+std::string ConditionClause::ToString() const {
+  auto quote = [](const Value& v) {
+    if (v.type() == ValueType::kString) return "'" + v.ToString() + "'";
+    return v.ToString();
+  };
+  if (values.size() == 1) {
+    return attribute + " = " + quote(values[0]);
+  }
+  std::string out = attribute + " in {";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += quote(values[i]);
+  }
+  out += "}";
+  return out;
+}
+
+Condition Condition::Equals(std::string attribute, Value value) {
+  Condition c;
+  c.AddClause(std::move(attribute), {std::move(value)});
+  return c;
+}
+
+Condition Condition::In(std::string attribute, std::vector<Value> values) {
+  Condition c;
+  c.AddClause(std::move(attribute), std::move(values));
+  return c;
+}
+
+bool Condition::MentionsAttribute(std::string_view attribute) const {
+  for (const auto& clause : clauses_) {
+    if (clause.attribute == attribute) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Condition::MentionedAttributes() const {
+  std::vector<std::string> out;
+  out.reserve(clauses_.size());
+  for (const auto& clause : clauses_) out.push_back(clause.attribute);
+  return out;
+}
+
+void Condition::AddClause(std::string attribute, std::vector<Value> values) {
+  CSM_CHECK(!MentionsAttribute(attribute))
+      << "condition already mentions '" << attribute << "'";
+  CSM_CHECK(!values.empty()) << "empty IN-list for '" << attribute << "'";
+  ConditionClause clause{std::move(attribute), std::move(values)};
+  clause.Normalize();
+  clauses_.push_back(std::move(clause));
+}
+
+Condition Condition::Conjoin(const Condition& other) const {
+  Condition out = *this;
+  for (const auto& clause : other.clauses_) {
+    out.AddClause(clause.attribute, clause.values);
+  }
+  return out;
+}
+
+bool Condition::Evaluate(const TableSchema& schema, const Row& row) const {
+  for (const auto& clause : clauses_) {
+    size_t col = schema.AttributeIndex(clause.attribute);
+    CSM_CHECK_LT(col, row.size());
+    if (!clause.Matches(row[col])) return false;
+  }
+  return true;
+}
+
+std::string Condition::ToString() const {
+  if (clauses_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += clauses_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace csm

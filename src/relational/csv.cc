@@ -1,0 +1,228 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace csm {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one logical CSV record starting at `pos`; advances `pos` past the
+/// record's trailing newline.  Handles quoted fields with embedded commas,
+/// quotes, and newlines.
+StatusOr<std::vector<std::string>> ParseRecord(std::string_view text,
+                                               size_t& pos) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+      ++pos;
+      saw_any = true;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++pos;
+      saw_any = true;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++pos;
+      saw_any = true;
+      continue;
+    }
+    if (c == '\r') {
+      ++pos;
+      continue;
+    }
+    if (c == '\n') {
+      ++pos;
+      break;
+    }
+    current += c;
+    ++pos;
+    saw_any = true;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (!saw_any && pos >= text.size()) {
+    return std::vector<std::string>{};  // empty trailing record
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& instance) {
+  std::ostringstream os;
+  const TableSchema& schema = instance.schema();
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (c > 0) os << ',';
+    os << QuoteField(schema.attribute(c).name);
+  }
+  os << '\n';
+  for (const Row& row : instance.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << QuoteField(row[c].ToString());
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+StatusOr<Table> TableFromCsv(const TableSchema& schema, std::string_view csv) {
+  size_t pos = 0;
+  CSM_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       ParseRecord(csv, pos));
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "CSV header arity mismatch for table '" + schema.name() + "'");
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] != schema.attribute(c).name) {
+      return Status::InvalidArgument("CSV header mismatch: expected '" +
+                                     schema.attribute(c).name + "', got '" +
+                                     header[c] + "'");
+    }
+  }
+  Table out(schema);
+  while (pos < csv.size()) {
+    CSM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         ParseRecord(csv, pos));
+    if (fields.empty()) continue;  // blank trailing line
+    if (fields.size() != schema.num_attributes()) {
+      return Status::InvalidArgument("CSV record arity mismatch in table '" +
+                                     schema.name() + "'");
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      CSM_ASSIGN_OR_RETURN(
+          Value v, Value::Parse(fields[c], schema.attribute(c).type));
+      row.push_back(std::move(v));
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& instance, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << TableToCsv(instance);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Table> ReadCsvFile(const TableSchema& schema,
+                            const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TableFromCsv(schema, buffer.str());
+}
+
+StatusOr<Table> TableFromCsvInferred(const std::string& table_name,
+                                     std::string_view csv) {
+  // First pass: collect header and all records as raw strings.
+  size_t pos = 0;
+  CSM_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseRecord(csv, pos));
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+  std::vector<std::vector<std::string>> records;
+  while (pos < csv.size()) {
+    CSM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         ParseRecord(csv, pos));
+    if (fields.empty()) continue;
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("CSV record arity mismatch in '" +
+                                     table_name + "'");
+    }
+    records.push_back(std::move(fields));
+  }
+
+  // Second pass: infer column types — int unless some cell fails, then
+  // real, then string.
+  std::vector<ValueType> types(header.size(), ValueType::kInt);
+  std::vector<bool> saw_value(header.size(), false);
+  for (const auto& record : records) {
+    for (size_t c = 0; c < record.size(); ++c) {
+      std::string_view cell = Trim(record[c]);
+      if (cell.empty()) continue;
+      saw_value[c] = true;
+      if (types[c] == ValueType::kInt &&
+          !Value::Parse(cell, ValueType::kInt).ok()) {
+        types[c] = ValueType::kReal;
+      }
+      if (types[c] == ValueType::kReal &&
+          !Value::Parse(cell, ValueType::kReal).ok()) {
+        types[c] = ValueType::kString;
+      }
+    }
+  }
+  TableSchema schema(table_name);
+  for (size_t c = 0; c < header.size(); ++c) {
+    schema.AddAttribute(header[c],
+                        saw_value[c] ? types[c] : ValueType::kString);
+  }
+
+  Table out(schema);
+  for (const auto& record : records) {
+    Row row;
+    row.reserve(record.size());
+    for (size_t c = 0; c < record.size(); ++c) {
+      CSM_ASSIGN_OR_RETURN(
+          Value v, Value::Parse(record[c], schema.attribute(c).type));
+      row.push_back(std::move(v));
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<Table> ReadCsvFileInferred(const std::string& table_name,
+                                    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TableFromCsvInferred(table_name, buffer.str());
+}
+
+}  // namespace csm

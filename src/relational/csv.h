@@ -1,0 +1,41 @@
+// CSV serialization for tables: RFC-4180-ish quoting, header row with
+// attribute names.  Used by the examples and for dumping experiment inputs.
+
+#ifndef CSM_RELATIONAL_CSV_H_
+#define CSM_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace csm {
+
+/// Serializes `instance` (with a header row) to CSV text.
+std::string TableToCsv(const Table& instance);
+
+/// Parses CSV text into a table.  The first row must be a header matching
+/// `schema`'s attribute names (order-sensitive); cells are parsed by each
+/// attribute's declared type; empty cells become NULL.
+StatusOr<Table> TableFromCsv(const TableSchema& schema, std::string_view csv);
+
+/// Writes `instance` as CSV to `path`.
+Status WriteCsvFile(const Table& instance, const std::string& path);
+
+/// Reads a CSV file into a table conforming to `schema`.
+StatusOr<Table> ReadCsvFile(const TableSchema& schema, const std::string& path);
+
+/// Parses CSV text inferring each column's type from its cells: a column
+/// whose non-empty cells all parse as int becomes int; failing that, real;
+/// otherwise string.  Columns with no non-empty cells default to string.
+/// The header row supplies the attribute names.
+StatusOr<Table> TableFromCsvInferred(const std::string& table_name,
+                                     std::string_view csv);
+
+/// Reads a CSV file with inferred column types.
+StatusOr<Table> ReadCsvFileInferred(const std::string& table_name,
+                                    const std::string& path);
+
+}  // namespace csm
+
+#endif  // CSM_RELATIONAL_CSV_H_

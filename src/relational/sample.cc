@@ -1,0 +1,50 @@
+#include "relational/sample.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace csm {
+
+TrainTestSplit SplitTrainTest(const Table& instance, double train_fraction,
+                              Rng& rng) {
+  CSM_CHECK_GE(train_fraction, 0.0);
+  CSM_CHECK_LE(train_fraction, 1.0);
+  const size_t n = instance.num_rows();
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(indices);
+
+  size_t train_size = static_cast<size_t>(
+      train_fraction * static_cast<double>(n) + 0.5);
+  if (n >= 2) {
+    train_size = std::clamp<size_t>(train_size, 1, n - 1);
+  } else {
+    train_size = n;
+  }
+
+  std::vector<size_t> train_indices(indices.begin(),
+                                    indices.begin() + train_size);
+  std::vector<size_t> test_indices(indices.begin() + train_size,
+                                   indices.end());
+  // Preserve original row order within each side for determinism of
+  // downstream order-sensitive consumers.
+  std::sort(train_indices.begin(), train_indices.end());
+  std::sort(test_indices.begin(), test_indices.end());
+  return TrainTestSplit{instance.SelectRows(train_indices),
+                        instance.SelectRows(test_indices)};
+}
+
+Table SampleRows(const Table& instance, size_t sample_size, Rng& rng) {
+  const size_t n = instance.num_rows();
+  if (sample_size >= n) return instance;
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(indices);
+  indices.resize(sample_size);
+  std::sort(indices.begin(), indices.end());
+  return instance.SelectRows(indices);
+}
+
+}  // namespace csm

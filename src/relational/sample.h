@@ -1,0 +1,33 @@
+// Sampling helpers: random train/test partitioning of a table's rows (used
+// by ClusteredViewGen's doTraining/doTesting) and uniform subsampling (used
+// by the sample-size experiments).
+
+#ifndef CSM_RELATIONAL_SAMPLE_H_
+#define CSM_RELATIONAL_SAMPLE_H_
+
+#include <utility>
+
+#include "common/random.h"
+#include "relational/table.h"
+
+namespace csm {
+
+/// A train/test split of one table's rows.
+struct TrainTestSplit {
+  Table train;
+  Table test;
+};
+
+/// Randomly partitions `instance` rows into train/test with `train_fraction`
+/// of rows (rounded, at least 1 of each when the table has >= 2 rows) going
+/// to train.  Deterministic given `rng`.
+TrainTestSplit SplitTrainTest(const Table& instance, double train_fraction,
+                              Rng& rng);
+
+/// Uniformly samples `sample_size` rows without replacement (all rows when
+/// sample_size >= num_rows).  Order of kept rows is preserved.
+Table SampleRows(const Table& instance, size_t sample_size, Rng& rng);
+
+}  // namespace csm
+
+#endif  // CSM_RELATIONAL_SAMPLE_H_

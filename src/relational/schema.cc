@@ -1,0 +1,77 @@
+#include "relational/schema.h"
+
+#include "common/logging.h"
+
+namespace csm {
+
+TableSchema::TableSchema(std::string name, std::vector<AttributeDef> attributes)
+    : name_(std::move(name)) {
+  for (auto& attr : attributes) {
+    AddAttribute(std::move(attr.name), attr.type);
+  }
+}
+
+void TableSchema::AddAttribute(std::string name, ValueType type) {
+  CSM_CHECK(!FindAttribute(name).has_value())
+      << "duplicate attribute '" << name << "' in table '" << name_ << "'";
+  attributes_.push_back(AttributeDef{std::move(name), type});
+}
+
+std::optional<size_t> TableSchema::FindAttribute(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+size_t TableSchema::AttributeIndex(std::string_view name) const {
+  auto index = FindAttribute(name);
+  CSM_CHECK(index.has_value())
+      << "no attribute '" << name << "' in table '" << name_ << "'";
+  return *index;
+}
+
+const AttributeDef& TableSchema::attribute(size_t index) const {
+  CSM_CHECK_LT(index, attributes_.size());
+  return attributes_[index];
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = name_;
+  out += "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ": ";
+    out += ValueTypeToString(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+void Schema::AddTable(TableSchema table) {
+  CSM_CHECK(!HasTable(table.name()))
+      << "duplicate table '" << table.name() << "' in schema '" << name_ << "'";
+  tables_.push_back(std::move(table));
+}
+
+const TableSchema* Schema::FindTable(std::string_view name) const {
+  for (const auto& table : tables_) {
+    if (table.name() == name) return &table;
+  }
+  return nullptr;
+}
+
+const TableSchema& Schema::GetTable(std::string_view name) const {
+  const TableSchema* table = FindTable(name);
+  CSM_CHECK(table != nullptr) << "no table '" << name << "'";
+  return *table;
+}
+
+size_t Schema::TotalAttributes() const {
+  size_t total = 0;
+  for (const auto& table : tables_) total += table.num_attributes();
+  return total;
+}
+
+}  // namespace csm

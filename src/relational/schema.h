@@ -1,0 +1,107 @@
+// Schema catalog: attribute definitions, table schemas, and schemas
+// (collections of tables), per Section 2.1 of the paper.
+
+#ifndef CSM_RELATIONAL_SCHEMA_H_
+#define CSM_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace csm {
+
+/// One attribute (column) of a table: a name and a basic type.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  friend bool operator==(const AttributeDef& a, const AttributeDef& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// The schema of a single table: a name plus an ordered attribute list.
+/// Attribute names are unique within a table (CHECK-enforced on AddAttribute).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::string name) : name_(std::move(name)) {}
+  TableSchema(std::string name, std::vector<AttributeDef> attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// Appends an attribute; CHECK-fails on a duplicate name.
+  void AddAttribute(std::string name, ValueType type);
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> FindAttribute(std::string_view name) const;
+
+  /// Index of `name`; CHECK-fails if absent.
+  size_t AttributeIndex(std::string_view name) const;
+
+  bool HasAttribute(std::string_view name) const {
+    return FindAttribute(name).has_value();
+  }
+
+  const AttributeDef& attribute(size_t index) const;
+
+  /// "table(name: type, ...)" rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+/// A fully qualified attribute reference "Table.attr".
+struct AttributeRef {
+  std::string table;
+  std::string attribute;
+
+  std::string ToString() const { return table + "." + attribute; }
+
+  friend bool operator==(const AttributeRef& a, const AttributeRef& b) {
+    return a.table == b.table && a.attribute == b.attribute;
+  }
+  friend bool operator<(const AttributeRef& a, const AttributeRef& b) {
+    if (a.table != b.table) return a.table < b.table;
+    return a.attribute < b.attribute;
+  }
+};
+
+/// A named collection of table schemas (Rs or Rt in the paper).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<TableSchema>& tables() const { return tables_; }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Adds a table schema; CHECK-fails on a duplicate table name.
+  void AddTable(TableSchema table);
+
+  const TableSchema* FindTable(std::string_view name) const;
+  /// CHECK-fails if absent.
+  const TableSchema& GetTable(std::string_view name) const;
+  bool HasTable(std::string_view name) const {
+    return FindTable(name) != nullptr;
+  }
+
+  /// Total number of attributes across all tables.
+  size_t TotalAttributes() const;
+
+ private:
+  std::string name_;
+  std::vector<TableSchema> tables_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_RELATIONAL_SCHEMA_H_

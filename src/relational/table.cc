@@ -1,0 +1,145 @@
+#include "relational/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace csm {
+
+void Table::AddRow(Row row) {
+  CSM_CHECK_EQ(row.size(), schema_.num_attributes())
+      << "row arity mismatch for table '" << name() << "'";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    CSM_CHECK(row[i].type() == schema_.attribute(i).type)
+        << "type mismatch in '" << name() << "." << schema_.attribute(i).name
+        << "': expected " << ValueTypeToString(schema_.attribute(i).type)
+        << ", got " << ValueTypeToString(row[i].type());
+  }
+  rows_.push_back(std::move(row));
+}
+
+const Row& Table::row(size_t index) const {
+  CSM_CHECK_LT(index, rows_.size());
+  return rows_[index];
+}
+
+const Value& Table::at(size_t row_index, size_t col_index) const {
+  CSM_CHECK_LT(row_index, rows_.size());
+  CSM_CHECK_LT(col_index, schema_.num_attributes());
+  return rows_[row_index][col_index];
+}
+
+const Value& Table::at(size_t row_index, std::string_view attribute) const {
+  return at(row_index, schema_.AttributeIndex(attribute));
+}
+
+std::vector<Value> Table::ValueBag(std::string_view attribute) const {
+  return ValueBag(schema_.AttributeIndex(attribute));
+}
+
+std::vector<Value> Table::ValueBag(size_t col_index) const {
+  CSM_CHECK_LT(col_index, schema_.num_attributes());
+  std::vector<Value> bag;
+  bag.reserve(rows_.size());
+  for (const Row& r : rows_) bag.push_back(r[col_index]);
+  return bag;
+}
+
+std::map<Value, size_t> Table::ValueCounts(std::string_view attribute) const {
+  size_t col = schema_.AttributeIndex(attribute);
+  std::map<Value, size_t> counts;
+  for (const Row& r : rows_) {
+    if (!r[col].is_null()) ++counts[r[col]];
+  }
+  return counts;
+}
+
+Table Table::SelectRows(const std::vector<size_t>& indices) const {
+  Table out(schema_);
+  out.rows_.reserve(indices.size());
+  for (size_t index : indices) {
+    CSM_CHECK_LT(index, rows_.size());
+    out.rows_.push_back(rows_[index]);
+  }
+  return out;
+}
+
+Table Table::Renamed(std::string new_name) const {
+  TableSchema renamed(std::move(new_name));
+  for (const auto& attr : schema_.attributes()) {
+    renamed.AddAttribute(attr.name, attr.type);
+  }
+  Table out(std::move(renamed));
+  out.rows_ = rows_;
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << ", " << rows_.size() << " rows\n";
+  // Compute column widths over the printed prefix.
+  size_t printed = std::min(max_rows, rows_.size());
+  std::vector<size_t> widths(schema_.num_attributes());
+  for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+    widths[c] = schema_.attribute(c).name.size();
+    for (size_t r = 0; r < printed; ++r) {
+      widths[c] = std::max(widths[c], rows_[r][c].ToString().size());
+    }
+    widths[c] = std::min<size_t>(widths[c], 28);
+  }
+  auto print_cell = [&](const std::string& text, size_t width) {
+    std::string clipped =
+        text.size() > width ? text.substr(0, width - 1) + "~" : text;
+    os << clipped << std::string(width - clipped.size() + 2, ' ');
+  };
+  for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+    print_cell(schema_.attribute(c).name, widths[c]);
+  }
+  os << "\n";
+  for (size_t r = 0; r < printed; ++r) {
+    for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+      print_cell(rows_[r][c].ToString(), widths[c]);
+    }
+    os << "\n";
+  }
+  if (printed < rows_.size()) {
+    os << "... (" << rows_.size() - printed << " more rows)\n";
+  }
+  return os.str();
+}
+
+void Database::AddTable(Table table) {
+  CSM_CHECK(!HasTable(table.name()))
+      << "duplicate table '" << table.name() << "'";
+  tables_.push_back(std::move(table));
+}
+
+const Table* Database::FindTable(std::string_view name) const {
+  for (const auto& table : tables_) {
+    if (table.name() == name) return &table;
+  }
+  return nullptr;
+}
+
+Table* Database::FindMutableTable(std::string_view name) {
+  for (auto& table : tables_) {
+    if (table.name() == name) return &table;
+  }
+  return nullptr;
+}
+
+const Table& Database::GetTable(std::string_view name) const {
+  const Table* table = FindTable(name);
+  CSM_CHECK(table != nullptr) << "no table '" << name << "'";
+  return *table;
+}
+
+Schema Database::GetSchema() const {
+  Schema schema(name_);
+  for (const auto& table : tables_) schema.AddTable(table.schema());
+  return schema;
+}
+
+}  // namespace csm

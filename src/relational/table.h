@@ -1,0 +1,98 @@
+// In-memory table instances (row store) and the value-bag accessor v(R, a)
+// used throughout the matching algorithms.
+
+#ifndef CSM_RELATIONAL_TABLE_H_
+#define CSM_RELATIONAL_TABLE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace csm {
+
+/// One tuple: values aligned to the table schema's attribute order.
+using Row = std::vector<Value>;
+
+/// A table instance: schema plus rows.  Rows are CHECK-verified for arity;
+/// type conformance is verified for non-null cells.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a row; CHECK-fails on arity or type mismatch.
+  void AddRow(Row row);
+
+  const Row& row(size_t index) const;
+
+  /// The cell at (row, attribute index).
+  const Value& at(size_t row_index, size_t col_index) const;
+
+  /// The cell at (row, attribute name); CHECK-fails for unknown names.
+  const Value& at(size_t row_index, std::string_view attribute) const;
+
+  /// v(R, a): the bag of values of attribute `a` across all rows
+  /// ("select a from R"), in row order.  NULLs are included.
+  std::vector<Value> ValueBag(std::string_view attribute) const;
+  std::vector<Value> ValueBag(size_t col_index) const;
+
+  /// Distinct non-null values of `attribute` with their multiplicities,
+  /// keyed in Value order (deterministic iteration).
+  std::map<Value, size_t> ValueCounts(std::string_view attribute) const;
+
+  /// Returns a table with the same schema containing the rows at `indices`.
+  Table SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Returns a copy with a different table name (schema otherwise equal).
+  Table Renamed(std::string new_name) const;
+
+  /// Multi-line textual rendering (for examples and debugging); prints at
+  /// most `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+};
+
+/// A named collection of table instances conforming to a Schema.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Table>& tables() const { return tables_; }
+  std::vector<Table>& mutable_tables() { return tables_; }
+
+  /// Adds a table instance; CHECK-fails on duplicate table names.
+  void AddTable(Table table);
+
+  const Table* FindTable(std::string_view name) const;
+  /// CHECK-fails if absent.
+  const Table& GetTable(std::string_view name) const;
+  Table* FindMutableTable(std::string_view name);
+  bool HasTable(std::string_view name) const {
+    return FindTable(name) != nullptr;
+  }
+
+  /// The Schema (catalog view) over all contained tables.
+  Schema GetSchema() const;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace csm
+
+#endif  // CSM_RELATIONAL_TABLE_H_

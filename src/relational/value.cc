@@ -1,0 +1,155 @@
+#include "relational/value.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kReal;
+    default:
+      return ValueType::kString;
+  }
+}
+
+int64_t Value::AsInt() const {
+  CSM_CHECK(std::holds_alternative<int64_t>(rep_)) << "not an int";
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsReal() const {
+  CSM_CHECK(std::holds_alternative<double>(rep_)) << "not a real";
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  CSM_CHECK(std::holds_alternative<std::string>(rep_)) << "not a string";
+  return std::get<std::string>(rep_);
+}
+
+double Value::AsNumeric() const {
+  if (std::holds_alternative<int64_t>(rep_)) {
+    return static_cast<double>(std::get<int64_t>(rep_));
+  }
+  CSM_CHECK(std::holds_alternative<double>(rep_)) << "not numeric";
+  return std::get<double>(rep_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case ValueType::kReal: {
+      double d = std::get<double>(rep_);
+      // Render integral doubles without a trailing ".000000".
+      if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+        return StrFormat("%.1f", d);
+      }
+      return StrFormat("%g", d);
+    }
+    case ValueType::kString:
+      return std::get<std::string>(rep_);
+  }
+  return "";
+}
+
+StatusOr<Value> Value::Parse(std::string_view text, ValueType type) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      int64_t out = 0;
+      auto [ptr, ec] =
+          std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), out);
+      if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+        return Status::InvalidArgument("cannot parse int: '" +
+                                       std::string(trimmed) + "'");
+      }
+      return Value::Int(out);
+    }
+    case ValueType::kReal: {
+      // std::from_chars for double is available in GCC 12.
+      double out = 0;
+      auto [ptr, ec] =
+          std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), out);
+      if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+        return Status::InvalidArgument("cannot parse real: '" +
+                                       std::string(trimmed) + "'");
+      }
+      return Value::Real(out);
+    }
+    case ValueType::kString:
+      return Value::String(std::string(text));
+  }
+  return Status::InvalidArgument("unknown value type");
+}
+
+bool operator==(const Value& a, const Value& b) { return a.rep_ == b.rep_; }
+
+bool operator<(const Value& a, const Value& b) {
+  const ValueType ta = a.type();
+  const ValueType tb = b.type();
+  // NULL sorts first.
+  if (ta == ValueType::kNull || tb == ValueType::kNull) {
+    return ta == ValueType::kNull && tb != ValueType::kNull;
+  }
+  const bool na = a.IsNumeric();
+  const bool nb = b.IsNumeric();
+  if (na && nb) {
+    double da = a.AsNumeric();
+    double db = b.AsNumeric();
+    if (da != db) return da < db;
+    // Numerically equal but maybe different types: int < real for stability.
+    return ta < tb;
+  }
+  if (na != nb) return na;  // numerics before strings
+  return a.AsString() < b.AsString();
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      return std::hash<int64_t>{}(std::get<int64_t>(rep_)) * 3 + 1;
+    case ValueType::kReal:
+      return std::hash<double>{}(std::get<double>(rep_)) * 3 + 2;
+    case ValueType::kString:
+      return std::hash<std::string>{}(std::get<std::string>(rep_)) * 3;
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  if (value.is_null()) return os << "NULL";
+  return os << value.ToString();
+}
+
+}  // namespace csm

@@ -1,0 +1,97 @@
+// Typed scalar values for the in-memory relational substrate.
+//
+// The paper's data model (Section 2.1) deals with attributes of basic types
+// (string, int, real, ...).  Value is a tagged union over those basic types
+// plus NULL; it provides the total ordering and hashing the relational
+// operators and the grouping/classification machinery need.
+
+#ifndef CSM_RELATIONAL_VALUE_H_
+#define CSM_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/status.h"
+
+namespace csm {
+
+/// Basic attribute types, per Section 2.1 of the paper.
+enum class ValueType {
+  kNull = 0,
+  kInt = 1,
+  kReal = 2,
+  kString = 3,
+};
+
+/// Returns "null", "int", "real" or "string".
+const char* ValueTypeToString(ValueType type);
+
+/// A scalar cell value: NULL, 64-bit integer, double, or string.
+///
+/// Values order NULL < ints/reals (numerically, cross-type) < strings
+/// (lexicographic), which gives a deterministic total order usable as a map
+/// key.  Equality is exact (an int never equals a real, so bags keyed by
+/// Value stay type-stable).
+class Value {
+ public:
+  /// NULL value.
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors; CHECK-fail when the type does not match.
+  int64_t AsInt() const;
+  double AsReal() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: ints widen to double; CHECK-fails on strings/NULL.
+  double AsNumeric() const;
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kReal;
+  }
+
+  /// Renders the value for display and CSV output.  NULL renders as "".
+  std::string ToString() const;
+
+  /// Parses `text` as the given type.  Empty text parses as NULL.
+  static StatusOr<Value> Parse(std::string_view text, ValueType type);
+
+  /// Total order and equality described in the class comment.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// std::hash adapter for unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace csm
+
+#endif  // CSM_RELATIONAL_VALUE_H_

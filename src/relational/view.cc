@@ -1,0 +1,111 @@
+#include "relational/view.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace csm {
+
+TableSchema View::ViewSchema(const TableSchema& base_schema) const {
+  TableSchema out(name_);
+  if (projection_.empty()) {
+    for (const auto& attr : base_schema.attributes()) {
+      out.AddAttribute(attr.name, attr.type);
+    }
+  } else {
+    for (const auto& attr_name : projection_) {
+      size_t index = base_schema.AttributeIndex(attr_name);
+      out.AddAttribute(attr_name, base_schema.attribute(index).type);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> View::MatchingRows(const Table& base_instance) const {
+  CSM_CHECK_EQ(base_instance.name(), base_table_);
+  std::vector<size_t> out;
+  for (size_t r = 0; r < base_instance.num_rows(); ++r) {
+    if (condition_.Evaluate(base_instance.schema(), base_instance.row(r))) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+Table View::Materialize(const Table& base_instance) const {
+  CSM_CHECK_EQ(base_instance.name(), base_table_);
+  TableSchema view_schema = ViewSchema(base_instance.schema());
+  Table out(view_schema);
+  std::vector<size_t> projected_cols;
+  if (!projection_.empty()) {
+    for (const auto& attr_name : projection_) {
+      projected_cols.push_back(base_instance.schema().AttributeIndex(attr_name));
+    }
+  }
+  for (size_t r : MatchingRows(base_instance)) {
+    const Row& src = base_instance.row(r);
+    if (projection_.empty()) {
+      out.AddRow(src);
+    } else {
+      Row projected;
+      projected.reserve(projected_cols.size());
+      for (size_t c : projected_cols) projected.push_back(src[c]);
+      out.AddRow(std::move(projected));
+    }
+  }
+  return out;
+}
+
+std::string View::ToString() const {
+  std::string cols = "*";
+  if (!projection_.empty()) {
+    cols.clear();
+    for (size_t i = 0; i < projection_.size(); ++i) {
+      if (i > 0) cols += ", ";
+      cols += projection_[i];
+    }
+  }
+  return name_ + " := select " + cols + " from " + base_table_ + " where " +
+         condition_.ToString();
+}
+
+bool ViewFamily::IsWellFormed() const {
+  std::set<Value> seen;
+  for (const View& v : views) {
+    if (v.base_table() != base_table) return false;
+    if (v.condition().NumAttributes() != 1) return false;
+    const ConditionClause& clause = v.condition().clauses()[0];
+    if (clause.attribute != label_attribute) return false;
+    for (const Value& value : clause.values) {
+      if (!seen.insert(value).second) return false;  // overlap across views
+    }
+  }
+  return true;
+}
+
+std::string ViewFamily::ToString() const {
+  std::string out = "family(" + base_table + ", " + label_attribute + "): ";
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += views[i].condition().ToString();
+  }
+  return out;
+}
+
+ViewFamily MakeSimpleViewFamily(const Table& instance,
+                                std::string_view label_attribute) {
+  ViewFamily family;
+  family.base_table = instance.name();
+  family.label_attribute = std::string(label_attribute);
+  for (const auto& [value, count] : instance.ValueCounts(label_attribute)) {
+    std::string view_name = instance.name() + "[" +
+                            std::string(label_attribute) + "=" +
+                            value.ToString() + "]";
+    family.views.emplace_back(
+        view_name, instance.name(),
+        Condition::Equals(std::string(label_attribute), value));
+  }
+  return family;
+}
+
+}  // namespace csm

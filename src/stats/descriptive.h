@@ -1,0 +1,53 @@
+// Streaming descriptive statistics (Welford accumulation) used by the
+// numeric matcher, the Gaussian classifier, and score normalization.
+
+#ifndef CSM_STATS_DESCRIPTIVE_H_
+#define CSM_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace csm {
+
+/// Accumulates count/mean/variance/min/max in one pass, numerically stable.
+class DescriptiveStats {
+ public:
+  DescriptiveStats() = default;
+
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const DescriptiveStats& other);
+
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// 0.0 when empty.
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance; 0.0 with fewer than 1 sample.
+  double PopulationVariance() const;
+
+  /// Sample (n-1) variance; 0.0 with fewer than 2 samples.
+  double SampleVariance() const;
+
+  double PopulationStdDev() const;
+  double SampleStdDev() const;
+
+  /// +inf / -inf when empty.
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace csm
+
+#endif  // CSM_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,35 @@
+// Probability distribution helpers: the standard normal pdf/CDF/quantile
+// and binomial moments, used by score normalization (Section 2.3) and the
+// ClusteredViewGen significance test (Section 3.2.2).
+
+#ifndef CSM_STATS_DISTRIBUTIONS_H_
+#define CSM_STATS_DISTRIBUTIONS_H_
+
+namespace csm {
+
+/// Standard normal density.
+double NormalPdf(double x);
+
+/// Standard normal CDF Phi(x), accurate to ~1e-7 (erfc-based).
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation with one
+/// Halley refinement); requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// Mean of Binomial(n, p).
+double BinomialMean(double n, double p);
+
+/// Standard deviation of Binomial(n, p).
+double BinomialStdDev(double n, double p);
+
+/// z-score of `x` given mean/stddev; 0 when stddev is ~0 and x == mean,
+/// +/-inf-free saturation (clamped to +/-kMaxZ) otherwise.
+double ZScore(double x, double mean, double stddev);
+
+/// Largest |z| ZScore() will report.
+inline constexpr double kMaxZ = 12.0;
+
+}  // namespace csm
+
+#endif  // CSM_STATS_DISTRIBUTIONS_H_

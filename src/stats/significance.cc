@@ -1,0 +1,26 @@
+#include "stats/significance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "stats/distributions.h"
+
+namespace csm {
+
+SignificanceResult ClassifierSignificance(size_t observed_correct,
+                                          size_t test_size,
+                                          double most_common_fraction) {
+  CSM_CHECK_LE(observed_correct, test_size);
+  SignificanceResult result;
+  if (test_size == 0) return result;  // no evidence either way
+  const double p = std::clamp(most_common_fraction, 0.0, 1.0);
+  const double n = static_cast<double>(test_size);
+  result.null_mean = BinomialMean(n, p);
+  result.null_stddev = BinomialStdDev(n, p);
+  result.z = ZScore(static_cast<double>(observed_correct), result.null_mean,
+                    result.null_stddev);
+  result.significance = NormalCdf(result.z);
+  return result;
+}
+
+}  // namespace csm

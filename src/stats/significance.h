@@ -1,0 +1,44 @@
+// The ClusteredViewGen significance test (Section 3.2.2, "Score
+// Significance").
+//
+// Null hypothesis: there is no correlation between the evidence attribute h
+// and the categorical attribute l; labels are effectively random.  Under
+// the null, the naive classifier C_Naive that always answers the most
+// common training label v* gets a Binomial(n_test, p) number of test items
+// right, where p is v*'s relative frequency in the *training* data.  The
+// observed classifier's correct count k is converted to a z-score against
+// that binomial and the "significance" is Phi(z): the probability that the
+// null would produce a score below the observed one.  The family is
+// accepted when significance > T (paper: 0.95).
+
+#ifndef CSM_STATS_SIGNIFICANCE_H_
+#define CSM_STATS_SIGNIFICANCE_H_
+
+#include <cstddef>
+
+namespace csm {
+
+struct SignificanceResult {
+  /// Phi(z) of the observed correct count against the naive-classifier null.
+  double significance = 0.0;
+  /// Expected correct count under the null.
+  double null_mean = 0.0;
+  /// Standard deviation of the null's correct count.
+  double null_stddev = 0.0;
+  /// z-score of the observed correct count.
+  double z = 0.0;
+};
+
+/// Evaluates the test.
+///
+/// `observed_correct`   — test items the candidate classifier got right.
+/// `test_size`          — total test items presented.
+/// `most_common_fraction` — relative frequency of the most common label v*
+///                          in the training data (the binomial p).
+SignificanceResult ClassifierSignificance(size_t observed_correct,
+                                          size_t test_size,
+                                          double most_common_fraction);
+
+}  // namespace csm
+
+#endif  // CSM_STATS_SIGNIFICANCE_H_

@@ -1,0 +1,84 @@
+#include "text/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csm {
+
+void TokenProfile::Add(const std::string& token, double count) {
+  counts_[token] += count;
+  total_ += count;
+}
+
+void TokenProfile::AddAll(const std::vector<std::string>& tokens) {
+  for (const auto& token : tokens) Add(token);
+}
+
+double TokenProfile::Count(const std::string& token) const {
+  auto it = counts_.find(token);
+  return it == counts_.end() ? 0.0 : it->second;
+}
+
+double TokenProfile::Norm() const {
+  double sum_sq = 0.0;
+  for (const auto& [token, count] : counts_) sum_sq += count * count;
+  return std::sqrt(sum_sq);
+}
+
+double TokenProfile::Dot(const TokenProfile& other) const {
+  // Iterate the smaller map.
+  const TokenProfile& small = num_distinct() <= other.num_distinct()
+                                  ? *this
+                                  : other;
+  const TokenProfile& large = num_distinct() <= other.num_distinct()
+                                  ? other
+                                  : *this;
+  double dot = 0.0;
+  for (const auto& [token, count] : small.counts_) {
+    dot += count * large.Count(token);
+  }
+  return dot;
+}
+
+size_t TokenProfile::IntersectionSize(const TokenProfile& other) const {
+  const TokenProfile& small =
+      num_distinct() <= other.num_distinct() ? *this : other;
+  const TokenProfile& large =
+      num_distinct() <= other.num_distinct() ? other : *this;
+  size_t n = 0;
+  for (const auto& [token, count] : small.counts_) {
+    if (large.counts_.count(token) > 0) ++n;
+  }
+  return n;
+}
+
+double CosineSimilarity(const TokenProfile& a, const TokenProfile& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double denom = a.Norm() * b.Norm();
+  if (denom == 0.0) return 0.0;
+  return a.Dot(b) / denom;
+}
+
+double JaccardSimilarity(const TokenProfile& a, const TokenProfile& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t inter = a.IntersectionSize(b);
+  size_t uni = a.num_distinct() + b.num_distinct() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceSimilarity(const TokenProfile& a, const TokenProfile& b) {
+  size_t total = a.num_distinct() + b.num_distinct();
+  if (total == 0) return 0.0;
+  return 2.0 * static_cast<double>(a.IntersectionSize(b)) /
+         static_cast<double>(total);
+}
+
+double OverlapSimilarity(const TokenProfile& a, const TokenProfile& b) {
+  size_t smaller = std::min(a.num_distinct(), b.num_distinct());
+  if (smaller == 0) return 0.0;
+  return static_cast<double>(a.IntersectionSize(b)) /
+         static_cast<double>(smaller);
+}
+
+}  // namespace csm

@@ -1,0 +1,65 @@
+// Token frequency profiles and set/bag similarity measures.
+//
+// A TokenProfile is a multiset of tokens (q-grams or words) with counts;
+// the matchers compare attribute value-bags by building one profile per bag
+// and computing cosine / Jaccard / Dice / overlap similarity.
+
+#ifndef CSM_TEXT_PROFILE_H_
+#define CSM_TEXT_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csm {
+
+/// A sparse token -> count map with the vector-space operations the
+/// similarity measures need.  Deterministic iteration (ordered map).
+class TokenProfile {
+ public:
+  TokenProfile() = default;
+
+  /// Adds `count` occurrences of `token`.
+  void Add(const std::string& token, double count = 1.0);
+
+  /// Adds every token in `tokens` once each.
+  void AddAll(const std::vector<std::string>& tokens);
+
+  bool empty() const { return counts_.empty(); }
+  size_t num_distinct() const { return counts_.size(); }
+  double total() const { return total_; }
+
+  double Count(const std::string& token) const;
+
+  const std::map<std::string, double>& counts() const { return counts_; }
+
+  /// Euclidean norm of the count vector.
+  double Norm() const;
+
+  /// Dot product with another profile.
+  double Dot(const TokenProfile& other) const;
+
+  /// Number of distinct tokens in common.
+  size_t IntersectionSize(const TokenProfile& other) const;
+
+ private:
+  std::map<std::string, double> counts_;
+  double total_ = 0.0;
+};
+
+/// Cosine similarity of the count vectors; 0 when either is empty.
+double CosineSimilarity(const TokenProfile& a, const TokenProfile& b);
+
+/// Jaccard similarity of the distinct-token sets; 0 when both empty.
+double JaccardSimilarity(const TokenProfile& a, const TokenProfile& b);
+
+/// Dice coefficient of the distinct-token sets.
+double DiceSimilarity(const TokenProfile& a, const TokenProfile& b);
+
+/// Overlap coefficient: |A∩B| / min(|A|, |B|).
+double OverlapSimilarity(const TokenProfile& a, const TokenProfile& b);
+
+}  // namespace csm
+
+#endif  // CSM_TEXT_PROFILE_H_

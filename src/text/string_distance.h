@@ -1,0 +1,25 @@
+// Pairwise string distances used by the name matcher.
+
+#ifndef CSM_TEXT_STRING_DISTANCE_H_
+#define CSM_TEXT_STRING_DISTANCE_H_
+
+#include <string_view>
+
+namespace csm {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity in [0,1]: 1 - distance / max(|a|,|b|);
+/// 1.0 when both strings are empty.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0,1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity with the standard prefix scale (0.1, max 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace csm
+
+#endif  // CSM_TEXT_STRING_DISTANCE_H_

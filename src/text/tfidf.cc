@@ -1,0 +1,36 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+namespace csm {
+
+void TfIdfCorpus::AddDocument(const TokenProfile& document) {
+  ++num_documents_;
+  for (const auto& [token, count] : document.counts()) {
+    ++document_frequency_[token];
+  }
+}
+
+double TfIdfCorpus::Idf(const std::string& token) const {
+  auto it = document_frequency_.find(token);
+  const double df = it == document_frequency_.end()
+                        ? 0.0
+                        : static_cast<double>(it->second);
+  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) +
+         1.0;
+}
+
+TokenProfile TfIdfCorpus::Weight(const TokenProfile& document) const {
+  TokenProfile weighted;
+  for (const auto& [token, count] : document.counts()) {
+    weighted.Add(token, count * Idf(token));
+  }
+  return weighted;
+}
+
+double TfIdfCorpus::WeightedCosine(const TokenProfile& a,
+                                   const TokenProfile& b) const {
+  return CosineSimilarity(Weight(a), Weight(b));
+}
+
+}  // namespace csm

@@ -1,0 +1,44 @@
+// TF-IDF weighting over a corpus of token profiles.
+//
+// The TF-IDF matcher treats each attribute's value bag as a document; IDF
+// is computed over the set of documents registered with the corpus, and
+// similarity is the cosine of the TF-IDF-weighted vectors.
+
+#ifndef CSM_TEXT_TFIDF_H_
+#define CSM_TEXT_TFIDF_H_
+
+#include <map>
+#include <string>
+
+#include "text/profile.h"
+
+namespace csm {
+
+/// Accumulates document frequencies and produces TF-IDF-weighted profiles.
+class TfIdfCorpus {
+ public:
+  TfIdfCorpus() = default;
+
+  /// Registers a document (each distinct token counts once toward DF).
+  void AddDocument(const TokenProfile& document);
+
+  size_t num_documents() const { return num_documents_; }
+
+  /// Smoothed inverse document frequency:
+  /// log((1 + N) / (1 + df)) + 1, so unseen tokens still get weight.
+  double Idf(const std::string& token) const;
+
+  /// Returns the profile re-weighted by TF-IDF (tf = raw count).
+  TokenProfile Weight(const TokenProfile& document) const;
+
+  /// Cosine similarity of the two documents' TF-IDF vectors.
+  double WeightedCosine(const TokenProfile& a, const TokenProfile& b) const;
+
+ private:
+  std::map<std::string, size_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_TEXT_TFIDF_H_

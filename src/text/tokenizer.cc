@@ -1,0 +1,61 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace csm {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::string NormalizeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    if (IsWordChar(c)) {
+      if (pending_space && !out.empty()) out += ' ';
+      pending_space = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (IsWordChar(c)) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> QGrams(std::string_view text, size_t q) {
+  std::vector<std::string> grams;
+  if (q == 0) return grams;
+  std::string normalized = NormalizeText(text);
+  if (normalized.empty()) return grams;
+  std::string padded(q - 1, '#');
+  padded += normalized;
+  padded.append(q - 1, '#');
+  if (padded.size() < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+}  // namespace csm

@@ -1,0 +1,28 @@
+// Text normalization and tokenization used by the instance-based matchers
+// and the Naive Bayes classifier.
+
+#ifndef CSM_TEXT_TOKENIZER_H_
+#define CSM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csm {
+
+/// Lowercases and squeezes runs of non-alphanumerics to single spaces;
+/// trims the ends.  "Lance Armstrong's War!" -> "lance armstrong s war".
+std::string NormalizeText(std::string_view text);
+
+/// Splits normalized text into word tokens (maximal alphanumeric runs of
+/// the lowercased input).
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Q-grams of the normalized text padded with (q-1) '#' on each side, so
+/// "ab" with q=3 yields {"##a", "#ab", "ab#", "b##"}.  Returns the q-grams
+/// in order of occurrence (duplicates kept).
+std::vector<std::string> QGrams(std::string_view text, size_t q);
+
+}  // namespace csm
+
+#endif  // CSM_TEXT_TOKENIZER_H_

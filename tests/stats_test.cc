@@ -1,0 +1,186 @@
+// Tests for src/stats: distributions, descriptive accumulators, and the
+// ClusteredViewGen significance test.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/significance.h"
+
+namespace csm {
+namespace {
+
+// --------------------------------------------------------- Distributions
+
+TEST(DistributionsTest, NormalPdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989423, 1e-6);
+  EXPECT_NEAR(NormalPdf(1.0), 0.2419707, 1e-6);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-12);
+}
+
+TEST(DistributionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.1586553, 1e-6);
+  EXPECT_NEAR(NormalCdf(1.959964), 0.975, 1e-5);
+  EXPECT_NEAR(NormalCdf(6.0), 1.0, 1e-8);
+}
+
+TEST(DistributionsTest, NormalCdfMonotone) {
+  double prev = 0.0;
+  for (double x = -5.0; x <= 5.0; x += 0.25) {
+    double cdf = NormalCdf(x);
+    EXPECT_GE(cdf, prev);
+    prev = cdf;
+  }
+}
+
+TEST(DistributionsTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(DistributionsTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.644854, 1e-5);
+}
+
+TEST(DistributionsTest, BinomialMoments) {
+  EXPECT_DOUBLE_EQ(BinomialMean(100, 0.3), 30.0);
+  EXPECT_NEAR(BinomialStdDev(100, 0.3), std::sqrt(21.0), 1e-12);
+  EXPECT_DOUBLE_EQ(BinomialStdDev(100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialStdDev(100, 1.0), 0.0);
+}
+
+TEST(DistributionsTest, ZScoreClampsAndHandlesZeroStdDev) {
+  EXPECT_DOUBLE_EQ(ZScore(5.0, 5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ZScore(6.0, 5.0, 0.0), kMaxZ);
+  EXPECT_DOUBLE_EQ(ZScore(4.0, 5.0, 0.0), -kMaxZ);
+  EXPECT_DOUBLE_EQ(ZScore(1000.0, 0.0, 1.0), kMaxZ);
+  EXPECT_NEAR(ZScore(7.0, 5.0, 2.0), 1.0, 1e-12);
+}
+
+// ----------------------------------------------------------- Descriptive
+
+TEST(DescriptiveTest, EmptyAccumulator) {
+  DescriptiveStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.SampleVariance(), 0.0);
+}
+
+TEST(DescriptiveTest, KnownMoments) {
+  DescriptiveStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.PopulationVariance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.PopulationStdDev(), 2.0);
+  EXPECT_NEAR(s.SampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(DescriptiveTest, SingleValue) {
+  DescriptiveStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.PopulationVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.SampleVariance(), 0.0);
+}
+
+TEST(DescriptiveTest, MergeEqualsSequential) {
+  DescriptiveStats all, a, b;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.NextGaussian(2.0, 3.0);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.PopulationVariance(), all.PopulationVariance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), all.Max());
+}
+
+TEST(DescriptiveTest, MergeWithEmpty) {
+  DescriptiveStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  DescriptiveStats b = a;
+  b.Merge(empty);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 2.0);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(DescriptiveTest, NumericallyStableForLargeOffsets) {
+  DescriptiveStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.PopulationVariance(), 0.25, 1e-6);
+}
+
+// ---------------------------------------------------------- Significance
+
+TEST(SignificanceTest, PerfectClassifierOnBalancedLabelsIsSignificant) {
+  // 100 test items, null p = 0.5 (most common label half the data):
+  // observed 100 correct is overwhelmingly significant.
+  SignificanceResult r = ClassifierSignificance(100, 100, 0.5);
+  EXPECT_GT(r.significance, 0.999);
+  EXPECT_DOUBLE_EQ(r.null_mean, 50.0);
+  EXPECT_NEAR(r.null_stddev, 5.0, 1e-12);
+}
+
+TEST(SignificanceTest, ChanceLevelIsNotSignificant) {
+  SignificanceResult r = ClassifierSignificance(50, 100, 0.5);
+  EXPECT_NEAR(r.significance, 0.5, 1e-9);
+  EXPECT_LT(r.significance, 0.95);
+}
+
+TEST(SignificanceTest, BelowChanceIsVeryInsignificant) {
+  SignificanceResult r = ClassifierSignificance(30, 100, 0.5);
+  EXPECT_LT(r.significance, 0.05);
+}
+
+TEST(SignificanceTest, SkewedNullRaisesBar) {
+  // With a 90%-dominant label, 92/100 correct is barely above the null...
+  SignificanceResult weak = ClassifierSignificance(92, 100, 0.9);
+  // ...while the same count against a 50% null is overwhelming.
+  SignificanceResult strong = ClassifierSignificance(92, 100, 0.5);
+  EXPECT_LT(weak.significance, strong.significance);
+  EXPECT_LT(weak.significance, 0.95);
+  EXPECT_GT(strong.significance, 0.999);
+}
+
+TEST(SignificanceTest, EmptyTestSetIsNeutral) {
+  SignificanceResult r = ClassifierSignificance(0, 0, 0.5);
+  EXPECT_DOUBLE_EQ(r.significance, 0.0);
+}
+
+TEST(SignificanceTest, DegenerateNullHandled) {
+  // p = 1 (single label): any correct count equals the null mean -> z = 0 or
+  // below; never "significant".
+  SignificanceResult r = ClassifierSignificance(100, 100, 1.0);
+  EXPECT_LE(r.significance, 0.5 + 1e-9);
+}
+
+TEST(SignificanceTest, MonotoneInObservedCorrect) {
+  double prev = -1.0;
+  for (size_t correct = 0; correct <= 100; correct += 10) {
+    SignificanceResult r = ClassifierSignificance(correct, 100, 0.4);
+    EXPECT_GE(r.significance, prev);
+    prev = r.significance;
+  }
+}
+
+}  // namespace
+}  // namespace csm

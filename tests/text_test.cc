@@ -1,0 +1,228 @@
+// Tests for src/text: tokenizer, profiles & similarities, string distances,
+// TF-IDF.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/profile.h"
+#include "text/string_distance.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace csm {
+namespace {
+
+// ------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, NormalizeText) {
+  EXPECT_EQ(NormalizeText("Lance Armstrong's War!"), "lance armstrong s war");
+  EXPECT_EQ(NormalizeText("  A--B  "), "a b");
+  EXPECT_EQ(NormalizeText(""), "");
+  EXPECT_EQ(NormalizeText("!!!"), "");
+  EXPECT_EQ(NormalizeText("abc123"), "abc123");
+}
+
+TEST(TokenizerTest, WordTokens) {
+  EXPECT_EQ(WordTokens("The Quick, Brown Fox."),
+            (std::vector<std::string>{"the", "quick", "brown", "fox"}));
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens("---").empty());
+  EXPECT_EQ(WordTokens("x"), (std::vector<std::string>{"x"}));
+}
+
+TEST(TokenizerTest, QGramsPaddedAndOrdered) {
+  std::vector<std::string> grams = QGrams("ab", 3);
+  EXPECT_EQ(grams, (std::vector<std::string>{"##a", "#ab", "ab#", "b##"}));
+}
+
+TEST(TokenizerTest, QGramsNormalizeFirst) {
+  EXPECT_EQ(QGrams("A-B", 3), QGrams("a b", 3));
+}
+
+TEST(TokenizerTest, QGramsEdgeCases) {
+  EXPECT_TRUE(QGrams("", 3).empty());
+  EXPECT_TRUE(QGrams("!!!", 3).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+  // q=1: no padding beyond the string itself.
+  EXPECT_EQ(QGrams("ab", 1), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TokenizerTest, QGramCountMatchesFormula) {
+  // Padded length = n + 2(q-1); gram count = padded - q + 1 = n + q - 1.
+  std::string text = "hello";
+  EXPECT_EQ(QGrams(text, 3).size(), text.size() + 2);
+}
+
+// --------------------------------------------------------------- Profile
+
+TokenProfile ProfileOf(const std::vector<std::string>& tokens) {
+  TokenProfile p;
+  p.AddAll(tokens);
+  return p;
+}
+
+TEST(ProfileTest, CountsAndTotals) {
+  TokenProfile p = ProfileOf({"a", "b", "a"});
+  EXPECT_EQ(p.num_distinct(), 2u);
+  EXPECT_DOUBLE_EQ(p.total(), 3.0);
+  EXPECT_DOUBLE_EQ(p.Count("a"), 2.0);
+  EXPECT_DOUBLE_EQ(p.Count("z"), 0.0);
+}
+
+TEST(ProfileTest, NormAndDot) {
+  TokenProfile p = ProfileOf({"a", "a", "b"});  // (2,1)
+  TokenProfile q = ProfileOf({"a", "b", "b"});  // (1,2)
+  EXPECT_DOUBLE_EQ(p.Norm(), std::sqrt(5.0));
+  EXPECT_DOUBLE_EQ(p.Dot(q), 4.0);
+  EXPECT_EQ(p.IntersectionSize(q), 2u);
+}
+
+TEST(ProfileTest, CosineIdenticalIsOne) {
+  TokenProfile p = ProfileOf({"x", "y", "x"});
+  EXPECT_NEAR(CosineSimilarity(p, p), 1.0, 1e-12);
+}
+
+TEST(ProfileTest, CosineDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(
+      CosineSimilarity(ProfileOf({"a"}), ProfileOf({"b"})), 0.0);
+}
+
+TEST(ProfileTest, CosineEmptyIsZero) {
+  TokenProfile empty;
+  EXPECT_DOUBLE_EQ(CosineSimilarity(empty, ProfileOf({"a"})), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(empty, empty), 0.0);
+}
+
+TEST(ProfileTest, CosineIsSymmetric) {
+  TokenProfile p = ProfileOf({"a", "b", "c", "a"});
+  TokenProfile q = ProfileOf({"b", "c", "d"});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(p, q), CosineSimilarity(q, p));
+}
+
+TEST(ProfileTest, JaccardAndDiceAndOverlap) {
+  TokenProfile p = ProfileOf({"a", "b", "c"});
+  TokenProfile q = ProfileOf({"b", "c", "d", "e"});
+  // intersection 2, union 5.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(p, q), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity(p, q), 2.0 * 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(p, q), 2.0 / 3.0);
+}
+
+TEST(ProfileTest, SimilaritiesBounded) {
+  TokenProfile p = ProfileOf({"a", "b"});
+  TokenProfile q = ProfileOf({"a", "b"});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(p, q), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity(p, q), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(p, q), 1.0);
+}
+
+// ------------------------------------------------------ String distances
+
+TEST(StringDistanceTest, LevenshteinKnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+  EXPECT_EQ(LevenshteinDistance("a", "b"), 1u);
+}
+
+TEST(StringDistanceTest, LevenshteinSymmetric) {
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"),
+            LevenshteinDistance("lawn", "flaw"));
+}
+
+TEST(StringDistanceTest, LevenshteinTriangleInequality) {
+  const char* words[] = {"book", "back", "cork", "sick"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      for (const char* c : words) {
+        EXPECT_LE(LevenshteinDistance(a, c),
+                  LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+      }
+    }
+  }
+}
+
+TEST(StringDistanceTest, LevenshteinSimilarityNormalized) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abce"), 0.75, 1e-12);
+}
+
+TEST(StringDistanceTest, JaroKnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7667, 1e-3);
+}
+
+TEST(StringDistanceTest, JaroWinklerBoostsCommonPrefix) {
+  double jaro = JaroSimilarity("martha", "marhta");
+  double jw = JaroWinklerSimilarity("martha", "marhta");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(jw, 0.9611, 1e-3);
+  // No common prefix: equal to Jaro.
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "xbc"),
+                   JaroSimilarity("abc", "xbc"));
+}
+
+TEST(StringDistanceTest, JaroWinklerBounded) {
+  EXPECT_LE(JaroWinklerSimilarity("prefixes", "prefixed"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("same", "same"), 1.0);
+}
+
+// ----------------------------------------------------------------- TFIDF
+
+TEST(TfIdfTest, IdfDiscountsCommonTokens) {
+  TfIdfCorpus corpus;
+  TokenProfile d1, d2, d3;
+  d1.AddAll({"the", "cat"});
+  d2.AddAll({"the", "dog"});
+  d3.AddAll({"the", "fox"});
+  corpus.AddDocument(d1);
+  corpus.AddDocument(d2);
+  corpus.AddDocument(d3);
+  EXPECT_EQ(corpus.num_documents(), 3u);
+  EXPECT_LT(corpus.Idf("the"), corpus.Idf("cat"));
+  EXPECT_GT(corpus.Idf("never_seen"), corpus.Idf("cat"));
+}
+
+TEST(TfIdfTest, WeightScalesCounts) {
+  TfIdfCorpus corpus;
+  TokenProfile d;
+  d.AddAll({"rare", "common", "common"});
+  corpus.AddDocument(d);
+  TokenProfile w = corpus.Weight(d);
+  EXPECT_DOUBLE_EQ(w.Count("rare"), 1.0 * corpus.Idf("rare"));
+  EXPECT_DOUBLE_EQ(w.Count("common"), 2.0 * corpus.Idf("common"));
+}
+
+TEST(TfIdfTest, WeightedCosinePrefersDistinctiveOverlap) {
+  // Documents share "the"; only d1/d2 share "cat".  The weighted cosine of
+  // (d1, d2) must exceed that of (d1, d3) by more than the raw cosine does,
+  // because "the" is discounted.
+  TfIdfCorpus corpus;
+  TokenProfile d1, d2, d3, d4;
+  d1.AddAll({"the", "cat", "sat"});
+  d2.AddAll({"the", "cat", "ran"});
+  d3.AddAll({"the", "dog", "ran"});
+  d4.AddAll({"the", "owl", "hid"});
+  for (const auto* d : {&d1, &d2, &d3, &d4}) corpus.AddDocument(*d);
+  double w12 = corpus.WeightedCosine(d1, d2);
+  double w14 = corpus.WeightedCosine(d1, d4);
+  EXPECT_GT(w12, w14);
+}
+
+TEST(TfIdfTest, EmptyCorpusStillWorks) {
+  TfIdfCorpus corpus;
+  TokenProfile d;
+  d.AddAll({"a"});
+  EXPECT_GT(corpus.Idf("a"), 0.0);
+  EXPECT_NEAR(corpus.WeightedCosine(d, d), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace csm
