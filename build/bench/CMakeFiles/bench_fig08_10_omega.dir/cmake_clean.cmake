@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_10_omega.dir/bench_fig08_10_omega.cc.o"
+  "CMakeFiles/bench_fig08_10_omega.dir/bench_fig08_10_omega.cc.o.d"
+  "bench_fig08_10_omega"
+  "bench_fig08_10_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_10_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

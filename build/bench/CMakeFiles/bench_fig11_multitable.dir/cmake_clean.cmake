@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_multitable.dir/bench_fig11_multitable.cc.o"
+  "CMakeFiles/bench_fig11_multitable.dir/bench_fig11_multitable.cc.o.d"
+  "bench_fig11_multitable"
+  "bench_fig11_multitable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_multitable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

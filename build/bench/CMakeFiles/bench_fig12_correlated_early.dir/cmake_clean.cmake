@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_correlated_early.dir/bench_fig12_correlated_early.cc.o"
+  "CMakeFiles/bench_fig12_correlated_early.dir/bench_fig12_correlated_early.cc.o.d"
+  "bench_fig12_correlated_early"
+  "bench_fig12_correlated_early.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_correlated_early.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

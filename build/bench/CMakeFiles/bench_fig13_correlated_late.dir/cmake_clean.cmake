@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_correlated_late.dir/bench_fig13_correlated_late.cc.o"
+  "CMakeFiles/bench_fig13_correlated_late.dir/bench_fig13_correlated_late.cc.o.d"
+  "bench_fig13_correlated_late"
+  "bench_fig13_correlated_late.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_correlated_late.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cardinality_fmeasure.dir/bench_fig14_cardinality_fmeasure.cc.o"
+  "CMakeFiles/bench_fig14_cardinality_fmeasure.dir/bench_fig14_cardinality_fmeasure.cc.o.d"
+  "bench_fig14_cardinality_fmeasure"
+  "bench_fig14_cardinality_fmeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cardinality_fmeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

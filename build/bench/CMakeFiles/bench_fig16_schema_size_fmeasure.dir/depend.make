@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_schema_size_fmeasure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig19_grades_sigma.cc" "bench/CMakeFiles/bench_fig19_grades_sigma.dir/bench_fig19_grades_sigma.cc.o" "gcc" "bench/CMakeFiles/bench_fig19_grades_sigma.dir/bench_fig19_grades_sigma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/csm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/csm_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/csm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/csm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/csm_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/csm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/csm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/csm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

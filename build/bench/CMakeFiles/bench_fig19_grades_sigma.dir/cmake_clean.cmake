@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_grades_sigma.dir/bench_fig19_grades_sigma.cc.o"
+  "CMakeFiles/bench_fig19_grades_sigma.dir/bench_fig19_grades_sigma.cc.o.d"
+  "bench_fig19_grades_sigma"
+  "bench_fig19_grades_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_grades_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_tau_grades.dir/bench_fig21_tau_grades.cc.o"
+  "CMakeFiles/bench_fig21_tau_grades.dir/bench_fig21_tau_grades.cc.o.d"
+  "bench_fig21_tau_grades"
+  "bench_fig21_tau_grades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_tau_grades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

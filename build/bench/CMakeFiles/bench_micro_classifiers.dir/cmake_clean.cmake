@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_classifiers.dir/bench_micro_classifiers.cc.o"
+  "CMakeFiles/bench_micro_classifiers.dir/bench_micro_classifiers.cc.o.d"
+  "bench_micro_classifiers"
+  "bench_micro_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

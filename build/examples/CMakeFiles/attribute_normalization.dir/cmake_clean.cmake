@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_normalization.dir/attribute_normalization.cpp.o"
+  "CMakeFiles/attribute_normalization.dir/attribute_normalization.cpp.o.d"
+  "attribute_normalization"
+  "attribute_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

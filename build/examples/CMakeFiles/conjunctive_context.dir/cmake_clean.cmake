@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conjunctive_context.dir/conjunctive_context.cpp.o"
+  "CMakeFiles/conjunctive_context.dir/conjunctive_context.cpp.o.d"
+  "conjunctive_context"
+  "conjunctive_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conjunctive_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_match_tool.dir/csv_match_tool.cpp.o"
+  "CMakeFiles/csv_match_tool.dir/csv_match_tool.cpp.o.d"
+  "csv_match_tool"
+  "csv_match_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_match_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

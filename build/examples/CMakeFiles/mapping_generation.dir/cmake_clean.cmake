@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_generation.dir/mapping_generation.cpp.o"
+  "CMakeFiles/mapping_generation.dir/mapping_generation.cpp.o.d"
+  "mapping_generation"
+  "mapping_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clustered_view_gen.cc" "src/core/CMakeFiles/csm_core.dir/clustered_view_gen.cc.o" "gcc" "src/core/CMakeFiles/csm_core.dir/clustered_view_gen.cc.o.d"
+  "/root/repo/src/core/context_match.cc" "src/core/CMakeFiles/csm_core.dir/context_match.cc.o" "gcc" "src/core/CMakeFiles/csm_core.dir/context_match.cc.o.d"
+  "/root/repo/src/core/naive_infer.cc" "src/core/CMakeFiles/csm_core.dir/naive_infer.cc.o" "gcc" "src/core/CMakeFiles/csm_core.dir/naive_infer.cc.o.d"
+  "/root/repo/src/core/select_matches.cc" "src/core/CMakeFiles/csm_core.dir/select_matches.cc.o" "gcc" "src/core/CMakeFiles/csm_core.dir/select_matches.cc.o.d"
+  "/root/repo/src/core/src_class_infer.cc" "src/core/CMakeFiles/csm_core.dir/src_class_infer.cc.o" "gcc" "src/core/CMakeFiles/csm_core.dir/src_class_infer.cc.o.d"
+  "/root/repo/src/core/target_context.cc" "src/core/CMakeFiles/csm_core.dir/target_context.cc.o" "gcc" "src/core/CMakeFiles/csm_core.dir/target_context.cc.o.d"
+  "/root/repo/src/core/tgt_class_infer.cc" "src/core/CMakeFiles/csm_core.dir/tgt_class_infer.cc.o" "gcc" "src/core/CMakeFiles/csm_core.dir/tgt_class_infer.cc.o.d"
+  "/root/repo/src/core/view_inference.cc" "src/core/CMakeFiles/csm_core.dir/view_inference.cc.o" "gcc" "src/core/CMakeFiles/csm_core.dir/view_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/csm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/csm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/csm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/csm_match.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

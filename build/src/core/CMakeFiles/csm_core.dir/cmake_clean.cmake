@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_core.dir/clustered_view_gen.cc.o"
+  "CMakeFiles/csm_core.dir/clustered_view_gen.cc.o.d"
+  "CMakeFiles/csm_core.dir/context_match.cc.o"
+  "CMakeFiles/csm_core.dir/context_match.cc.o.d"
+  "CMakeFiles/csm_core.dir/naive_infer.cc.o"
+  "CMakeFiles/csm_core.dir/naive_infer.cc.o.d"
+  "CMakeFiles/csm_core.dir/select_matches.cc.o"
+  "CMakeFiles/csm_core.dir/select_matches.cc.o.d"
+  "CMakeFiles/csm_core.dir/src_class_infer.cc.o"
+  "CMakeFiles/csm_core.dir/src_class_infer.cc.o.d"
+  "CMakeFiles/csm_core.dir/target_context.cc.o"
+  "CMakeFiles/csm_core.dir/target_context.cc.o.d"
+  "CMakeFiles/csm_core.dir/tgt_class_infer.cc.o"
+  "CMakeFiles/csm_core.dir/tgt_class_infer.cc.o.d"
+  "CMakeFiles/csm_core.dir/view_inference.cc.o"
+  "CMakeFiles/csm_core.dir/view_inference.cc.o.d"
+  "libcsm_core.a"
+  "libcsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

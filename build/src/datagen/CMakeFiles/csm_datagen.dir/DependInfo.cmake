@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/grades_gen.cc" "src/datagen/CMakeFiles/csm_datagen.dir/grades_gen.cc.o" "gcc" "src/datagen/CMakeFiles/csm_datagen.dir/grades_gen.cc.o.d"
+  "/root/repo/src/datagen/ground_truth.cc" "src/datagen/CMakeFiles/csm_datagen.dir/ground_truth.cc.o" "gcc" "src/datagen/CMakeFiles/csm_datagen.dir/ground_truth.cc.o.d"
+  "/root/repo/src/datagen/retail_gen.cc" "src/datagen/CMakeFiles/csm_datagen.dir/retail_gen.cc.o" "gcc" "src/datagen/CMakeFiles/csm_datagen.dir/retail_gen.cc.o.d"
+  "/root/repo/src/datagen/wordlists.cc" "src/datagen/CMakeFiles/csm_datagen.dir/wordlists.cc.o" "gcc" "src/datagen/CMakeFiles/csm_datagen.dir/wordlists.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/csm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/csm_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/csm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_datagen.dir/grades_gen.cc.o"
+  "CMakeFiles/csm_datagen.dir/grades_gen.cc.o.d"
+  "CMakeFiles/csm_datagen.dir/ground_truth.cc.o"
+  "CMakeFiles/csm_datagen.dir/ground_truth.cc.o.d"
+  "CMakeFiles/csm_datagen.dir/retail_gen.cc.o"
+  "CMakeFiles/csm_datagen.dir/retail_gen.cc.o.d"
+  "CMakeFiles/csm_datagen.dir/wordlists.cc.o"
+  "CMakeFiles/csm_datagen.dir/wordlists.cc.o.d"
+  "libcsm_datagen.a"
+  "libcsm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/csm_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/csm_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/harness/CMakeFiles/csm_harness.dir/report.cc.o" "gcc" "src/harness/CMakeFiles/csm_harness.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

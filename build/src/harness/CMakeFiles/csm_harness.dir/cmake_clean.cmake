@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_harness.dir/experiment.cc.o"
+  "CMakeFiles/csm_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/csm_harness.dir/report.cc.o"
+  "CMakeFiles/csm_harness.dir/report.cc.o.d"
+  "libcsm_harness.a"
+  "libcsm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/association.cc" "src/mapping/CMakeFiles/csm_mapping.dir/association.cc.o" "gcc" "src/mapping/CMakeFiles/csm_mapping.dir/association.cc.o.d"
+  "/root/repo/src/mapping/clio.cc" "src/mapping/CMakeFiles/csm_mapping.dir/clio.cc.o" "gcc" "src/mapping/CMakeFiles/csm_mapping.dir/clio.cc.o.d"
+  "/root/repo/src/mapping/constraint_mining.cc" "src/mapping/CMakeFiles/csm_mapping.dir/constraint_mining.cc.o" "gcc" "src/mapping/CMakeFiles/csm_mapping.dir/constraint_mining.cc.o.d"
+  "/root/repo/src/mapping/constraints.cc" "src/mapping/CMakeFiles/csm_mapping.dir/constraints.cc.o" "gcc" "src/mapping/CMakeFiles/csm_mapping.dir/constraints.cc.o.d"
+  "/root/repo/src/mapping/executor.cc" "src/mapping/CMakeFiles/csm_mapping.dir/executor.cc.o" "gcc" "src/mapping/CMakeFiles/csm_mapping.dir/executor.cc.o.d"
+  "/root/repo/src/mapping/propagation.cc" "src/mapping/CMakeFiles/csm_mapping.dir/propagation.cc.o" "gcc" "src/mapping/CMakeFiles/csm_mapping.dir/propagation.cc.o.d"
+  "/root/repo/src/mapping/query_gen.cc" "src/mapping/CMakeFiles/csm_mapping.dir/query_gen.cc.o" "gcc" "src/mapping/CMakeFiles/csm_mapping.dir/query_gen.cc.o.d"
+  "/root/repo/src/mapping/validation.cc" "src/mapping/CMakeFiles/csm_mapping.dir/validation.cc.o" "gcc" "src/mapping/CMakeFiles/csm_mapping.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/csm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/csm_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/csm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/csm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_mapping.dir/association.cc.o"
+  "CMakeFiles/csm_mapping.dir/association.cc.o.d"
+  "CMakeFiles/csm_mapping.dir/clio.cc.o"
+  "CMakeFiles/csm_mapping.dir/clio.cc.o.d"
+  "CMakeFiles/csm_mapping.dir/constraint_mining.cc.o"
+  "CMakeFiles/csm_mapping.dir/constraint_mining.cc.o.d"
+  "CMakeFiles/csm_mapping.dir/constraints.cc.o"
+  "CMakeFiles/csm_mapping.dir/constraints.cc.o.d"
+  "CMakeFiles/csm_mapping.dir/executor.cc.o"
+  "CMakeFiles/csm_mapping.dir/executor.cc.o.d"
+  "CMakeFiles/csm_mapping.dir/propagation.cc.o"
+  "CMakeFiles/csm_mapping.dir/propagation.cc.o.d"
+  "CMakeFiles/csm_mapping.dir/query_gen.cc.o"
+  "CMakeFiles/csm_mapping.dir/query_gen.cc.o.d"
+  "CMakeFiles/csm_mapping.dir/validation.cc.o"
+  "CMakeFiles/csm_mapping.dir/validation.cc.o.d"
+  "libcsm_mapping.a"
+  "libcsm_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/match_types.cc" "src/match/CMakeFiles/csm_match.dir/match_types.cc.o" "gcc" "src/match/CMakeFiles/csm_match.dir/match_types.cc.o.d"
+  "/root/repo/src/match/matcher.cc" "src/match/CMakeFiles/csm_match.dir/matcher.cc.o" "gcc" "src/match/CMakeFiles/csm_match.dir/matcher.cc.o.d"
+  "/root/repo/src/match/matchers.cc" "src/match/CMakeFiles/csm_match.dir/matchers.cc.o" "gcc" "src/match/CMakeFiles/csm_match.dir/matchers.cc.o.d"
+  "/root/repo/src/match/session.cc" "src/match/CMakeFiles/csm_match.dir/session.cc.o" "gcc" "src/match/CMakeFiles/csm_match.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/csm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/csm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

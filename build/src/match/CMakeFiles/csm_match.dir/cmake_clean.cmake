@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_match.dir/match_types.cc.o"
+  "CMakeFiles/csm_match.dir/match_types.cc.o.d"
+  "CMakeFiles/csm_match.dir/matcher.cc.o"
+  "CMakeFiles/csm_match.dir/matcher.cc.o.d"
+  "CMakeFiles/csm_match.dir/matchers.cc.o"
+  "CMakeFiles/csm_match.dir/matchers.cc.o.d"
+  "CMakeFiles/csm_match.dir/session.cc.o"
+  "CMakeFiles/csm_match.dir/session.cc.o.d"
+  "libcsm_match.a"
+  "libcsm_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

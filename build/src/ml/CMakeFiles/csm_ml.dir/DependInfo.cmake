@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/evaluation.cc" "src/ml/CMakeFiles/csm_ml.dir/evaluation.cc.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/evaluation.cc.o.d"
+  "/root/repo/src/ml/gaussian_classifier.cc" "src/ml/CMakeFiles/csm_ml.dir/gaussian_classifier.cc.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/gaussian_classifier.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/csm_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/csm_ml.dir/naive_bayes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/csm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/csm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

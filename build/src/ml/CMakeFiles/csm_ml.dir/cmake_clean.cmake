@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_ml.dir/evaluation.cc.o"
+  "CMakeFiles/csm_ml.dir/evaluation.cc.o.d"
+  "CMakeFiles/csm_ml.dir/gaussian_classifier.cc.o"
+  "CMakeFiles/csm_ml.dir/gaussian_classifier.cc.o.d"
+  "CMakeFiles/csm_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/csm_ml.dir/naive_bayes.cc.o.d"
+  "libcsm_ml.a"
+  "libcsm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

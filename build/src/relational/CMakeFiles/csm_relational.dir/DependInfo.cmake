@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/categorical.cc" "src/relational/CMakeFiles/csm_relational.dir/categorical.cc.o" "gcc" "src/relational/CMakeFiles/csm_relational.dir/categorical.cc.o.d"
+  "/root/repo/src/relational/condition.cc" "src/relational/CMakeFiles/csm_relational.dir/condition.cc.o" "gcc" "src/relational/CMakeFiles/csm_relational.dir/condition.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/csm_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/csm_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/sample.cc" "src/relational/CMakeFiles/csm_relational.dir/sample.cc.o" "gcc" "src/relational/CMakeFiles/csm_relational.dir/sample.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/csm_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/csm_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/csm_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/csm_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/csm_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/csm_relational.dir/value.cc.o.d"
+  "/root/repo/src/relational/view.cc" "src/relational/CMakeFiles/csm_relational.dir/view.cc.o" "gcc" "src/relational/CMakeFiles/csm_relational.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_relational.dir/categorical.cc.o"
+  "CMakeFiles/csm_relational.dir/categorical.cc.o.d"
+  "CMakeFiles/csm_relational.dir/condition.cc.o"
+  "CMakeFiles/csm_relational.dir/condition.cc.o.d"
+  "CMakeFiles/csm_relational.dir/csv.cc.o"
+  "CMakeFiles/csm_relational.dir/csv.cc.o.d"
+  "CMakeFiles/csm_relational.dir/sample.cc.o"
+  "CMakeFiles/csm_relational.dir/sample.cc.o.d"
+  "CMakeFiles/csm_relational.dir/schema.cc.o"
+  "CMakeFiles/csm_relational.dir/schema.cc.o.d"
+  "CMakeFiles/csm_relational.dir/table.cc.o"
+  "CMakeFiles/csm_relational.dir/table.cc.o.d"
+  "CMakeFiles/csm_relational.dir/value.cc.o"
+  "CMakeFiles/csm_relational.dir/value.cc.o.d"
+  "CMakeFiles/csm_relational.dir/view.cc.o"
+  "CMakeFiles/csm_relational.dir/view.cc.o.d"
+  "libcsm_relational.a"
+  "libcsm_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

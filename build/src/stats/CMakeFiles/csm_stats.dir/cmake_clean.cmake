@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_stats.dir/descriptive.cc.o"
+  "CMakeFiles/csm_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/csm_stats.dir/distributions.cc.o"
+  "CMakeFiles/csm_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/csm_stats.dir/significance.cc.o"
+  "CMakeFiles/csm_stats.dir/significance.cc.o.d"
+  "libcsm_stats.a"
+  "libcsm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

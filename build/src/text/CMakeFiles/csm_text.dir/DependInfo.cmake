@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/profile.cc" "src/text/CMakeFiles/csm_text.dir/profile.cc.o" "gcc" "src/text/CMakeFiles/csm_text.dir/profile.cc.o.d"
+  "/root/repo/src/text/string_distance.cc" "src/text/CMakeFiles/csm_text.dir/string_distance.cc.o" "gcc" "src/text/CMakeFiles/csm_text.dir/string_distance.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/csm_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/csm_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/csm_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/csm_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

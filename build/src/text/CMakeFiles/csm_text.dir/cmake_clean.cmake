@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csm_text.dir/profile.cc.o"
+  "CMakeFiles/csm_text.dir/profile.cc.o.d"
+  "CMakeFiles/csm_text.dir/string_distance.cc.o"
+  "CMakeFiles/csm_text.dir/string_distance.cc.o.d"
+  "CMakeFiles/csm_text.dir/tfidf.cc.o"
+  "CMakeFiles/csm_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/csm_text.dir/tokenizer.cc.o"
+  "CMakeFiles/csm_text.dir/tokenizer.cc.o.d"
+  "libcsm_text.a"
+  "libcsm_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csm_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
