@@ -31,6 +31,11 @@ inline MetricMap RetailTrial(RetailOptions data_options,
   metrics["views"] = static_cast<double>(result.pool.candidate_views.size());
   metrics["selected"] = static_cast<double>(result.selected_views.size());
   metrics["match_seconds"] = result.TotalSeconds();
+  metrics["standard_match_seconds"] = result.standard_match_seconds;
+  metrics["inference_seconds"] = result.inference_seconds;
+  metrics["scoring_seconds"] = result.scoring_seconds;
+  metrics["selection_seconds"] = result.selection_seconds;
+  metrics["threads"] = static_cast<double>(result.threads_used);
   return metrics;
 }
 
@@ -51,6 +56,11 @@ inline MetricMap GradesTrial(GradesOptions data_options,
   metrics["views"] = static_cast<double>(result.pool.candidate_views.size());
   metrics["selected"] = static_cast<double>(result.selected_views.size());
   metrics["match_seconds"] = result.TotalSeconds();
+  metrics["standard_match_seconds"] = result.standard_match_seconds;
+  metrics["inference_seconds"] = result.inference_seconds;
+  metrics["scoring_seconds"] = result.scoring_seconds;
+  metrics["selection_seconds"] = result.selection_seconds;
+  metrics["threads"] = static_cast<double>(result.threads_used);
   return metrics;
 }
 
@@ -70,6 +80,7 @@ inline ContextMatchOptions DefaultMatch() {
   options.inference = ViewInferenceKind::kSrcClass;
   options.selection = SelectionPolicy::kQualTable;
   options.early_disjuncts = true;
+  options.threads = BenchThreads(/*default_threads=*/1);
   return options;
 }
 
@@ -86,6 +97,7 @@ inline ContextMatchOptions DefaultGradesMatch() {
   options.inference = ViewInferenceKind::kSrcClass;
   options.selection = SelectionPolicy::kQualTable;
   options.early_disjuncts = false;
+  options.threads = BenchThreads(/*default_threads=*/1);
   return options;
 }
 

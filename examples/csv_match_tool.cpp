@@ -13,6 +13,8 @@
 //   --stages=N       conjunctive condition stages         (default 1)
 //   --target-views   also search for conditions on the target tables
 //   --seed=N         RNG seed                             (default 1)
+//   --threads=N      worker threads; 0 = all cores        (default 1)
+//                    (results are identical for every N)
 //
 // Demo (no arguments): generates the Retail data set into a temp directory
 // and matches it, so the tool is runnable out of the box.
@@ -102,6 +104,8 @@ int main(int argc, char** argv) {
       options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "stages", &value)) {
       stages = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options.threads = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "infer", &value)) {
       if (value == "naive") options.inference = ViewInferenceKind::kNaive;
       else if (value == "src") options.inference = ViewInferenceKind::kSrcClass;
@@ -163,12 +167,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nrunning ContextMatch: tau=%.2f omega=%.3f infer=%s "
-              "select=%s %s stages=%zu\n\n",
+              "select=%s %s stages=%zu threads=%zu\n\n",
               options.tau, options.omega,
               ViewInferenceKindToString(options.inference),
               SelectionPolicyToString(options.selection),
               options.early_disjuncts ? "EarlyDisjuncts" : "LateDisjuncts",
-              stages);
+              stages, options.threads);
 
   ContextMatchResult result =
       ConjunctiveContextMatch(*source, *target, options, stages);

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/logging.h"
+#include "exec/parallel.h"
+#include "exec/task_rng.h"
 #include "ml/evaluation.h"
 #include "relational/categorical.h"
 #include "relational/sample.h"
@@ -147,6 +149,92 @@ TrainTestOutcome RunCycle(const TrainTestSplit& split, size_t h_col,
   return out;
 }
 
+/// One (label attribute, evidence attribute) cell of the classifier grid.
+struct GridCell {
+  const std::string* label;
+  size_t l_col;
+  const std::map<Value, size_t>* counts;
+  const std::string* evidence;
+  size_t h_col;
+  ValueType h_type;
+};
+
+/// Trains and evaluates one grid cell: the full LateDisjuncts cycle or the
+/// EarlyDisjuncts merge loop for (l, h), emitting every grouping that
+/// passes the significance gate in merge order.  Runs on a worker thread;
+/// everything it touches besides `rng` is shared read-only state.
+std::vector<ViewFamily> RunGridCell(const Table& source_sample,
+                                    const GridCell& cell,
+                                    const ClassifierFactory& factory,
+                                    const ClusteredViewGenOptions& options,
+                                    bool early_disjuncts, Rng& rng) {
+  std::vector<ViewFamily> emitted;
+  TrainTestSplit split =
+      SplitTrainTest(source_sample, options.train_fraction, rng);
+  LabelGrouping grouping(*cell.counts);
+
+  // Merge loop: one iteration for LateDisjuncts; repeated error-pair
+  // merging under EarlyDisjuncts.
+  for (;;) {
+    TrainTestOutcome outcome = RunCycle(split, cell.h_col, cell.l_col,
+                                        grouping, factory, cell.h_type);
+    if (outcome.train_count == 0 ||
+        outcome.eval.total() < options.min_test_size) {
+      break;
+    }
+    SignificanceResult sig =
+        ClassifierSignificance(outcome.eval.correct(), outcome.eval.total(),
+                               outcome.most_common_fraction);
+    if (sig.significance > options.significance_threshold &&
+        grouping.num_groups() >= 2) {
+      ViewFamily family =
+          FamilyFromGrouping(source_sample, *cell.label, grouping);
+      family.classifier_f1 = outcome.eval.MicroF(1.0);
+      family.significance = sig.significance;
+      family.evidence_attribute = *cell.evidence;
+      emitted.push_back(std::move(family));
+    }
+    if (!early_disjuncts) break;
+    if (outcome.eval.error_pairs().empty()) break;
+    if (grouping.num_groups() <= 2) break;
+    const auto ranked = outcome.eval.NormalizedErrorPairs();
+    bool merged = false;
+    for (const auto& [pair, weight] : ranked) {
+      if (grouping.MergeByTokens(pair.first, pair.second)) {
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) break;
+  }
+  return emitted;
+}
+
+/// Dedup key of a family: its label attribute plus the partition it induces
+/// (reconstructed from the emitted views' conditions is unnecessary — the
+/// grouping's canonical PartitionKey is rebuilt from the view conditions'
+/// value lists).
+std::string FamilyPartitionKey(const ViewFamily& family) {
+  std::vector<std::string> tokens;
+  tokens.reserve(family.views.size());
+  for (const View& view : family.views) {
+    std::string token;
+    for (const Value& member : view.condition().clauses()[0].values) {
+      if (!token.empty()) token += '\x1f';
+      token += member.ToString();
+    }
+    tokens.push_back(std::move(token));
+  }
+  std::sort(tokens.begin(), tokens.end());
+  std::string out = family.label_attribute;
+  out += '\x1d';
+  for (const auto& token : tokens) {
+    out += token;
+    out += '\x1e';
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<ViewFamily> ClusteredViewGen(
@@ -154,7 +242,7 @@ std::vector<ViewFamily> ClusteredViewGen(
     const ClusteredViewGenOptions& options,
     const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
     std::vector<std::string> label_attributes,
-    std::vector<std::string> evidence_attributes) {
+    std::vector<std::string> evidence_attributes, exec::ThreadPool* pool) {
   if (label_attributes.empty()) {
     label_attributes = CategoricalAttributes(source_sample, categorical);
   }
@@ -162,62 +250,47 @@ std::vector<ViewFamily> ClusteredViewGen(
     evidence_attributes = NonCategoricalAttributes(source_sample, categorical);
   }
 
-  // Best accepted family per (label attribute, partition).
-  std::map<std::string, ViewFamily> accepted;
-
-  for (const std::string& l : label_attributes) {
-    const std::map<Value, size_t> counts = source_sample.ValueCounts(l);
+  // Lay out the (l, h) grid up front: one cell per admissible pair, in the
+  // same nested order the sequential loop used, so the merge below visits
+  // results in the legacy order regardless of which worker ran which cell.
+  std::vector<std::map<Value, size_t>> label_counts(label_attributes.size());
+  std::vector<GridCell> cells;
+  for (size_t li = 0; li < label_attributes.size(); ++li) {
+    const std::string& l = label_attributes[li];
+    label_counts[li] = source_sample.ValueCounts(l);
+    const auto& counts = label_counts[li];
     if (counts.size() < 2 || counts.size() > options.max_label_cardinality) {
       continue;
     }
     const size_t l_col = source_sample.schema().AttributeIndex(l);
-
     for (const std::string& h : evidence_attributes) {
       if (h == l) continue;
       const size_t h_col = source_sample.schema().AttributeIndex(h);
-      const ValueType h_type = source_sample.schema().attribute(h_col).type;
+      cells.push_back(GridCell{&l, l_col, &counts, &h, h_col,
+                               source_sample.schema().attribute(h_col).type});
+    }
+  }
 
-      TrainTestSplit split =
-          SplitTrainTest(source_sample, options.train_fraction, rng);
-      LabelGrouping grouping(counts);
+  // One seed drawn from the sequential stream; each cell splits off its own
+  // deterministic RNG, so the train/test partitions do not depend on the
+  // number of workers (or on which other cells exist being re-ordered).
+  const uint64_t grid_seed = rng.Next();
+  std::vector<std::vector<ViewFamily>> cell_results =
+      exec::ParallelMap(pool, cells.size(), [&](size_t i) {
+        Rng cell_rng = exec::TaskRng(grid_seed, i);
+        return RunGridCell(source_sample, cells[i], factory, options,
+                           early_disjuncts, cell_rng);
+      });
 
-      // Merge loop: one iteration for LateDisjuncts; repeated error-pair
-      // merging under EarlyDisjuncts.
-      for (;;) {
-        TrainTestOutcome outcome =
-            RunCycle(split, h_col, l_col, grouping, factory, h_type);
-        if (outcome.train_count == 0 ||
-            outcome.eval.total() < options.min_test_size) {
-          break;
-        }
-        SignificanceResult sig = ClassifierSignificance(
-            outcome.eval.correct(), outcome.eval.total(),
-            outcome.most_common_fraction);
-        if (sig.significance > options.significance_threshold &&
-            grouping.num_groups() >= 2) {
-          ViewFamily family = FamilyFromGrouping(source_sample, l, grouping);
-          family.classifier_f1 = outcome.eval.MicroF(1.0);
-          family.significance = sig.significance;
-          family.evidence_attribute = h;
-          std::string key = l + '\x1d' + grouping.PartitionKey();
-          auto it = accepted.find(key);
-          if (it == accepted.end() ||
-              it->second.significance < family.significance) {
-            accepted[key] = std::move(family);
-          }
-        }
-        if (!early_disjuncts) break;
-        if (outcome.eval.error_pairs().empty()) break;
-        if (grouping.num_groups() <= 2) break;
-        const auto ranked = outcome.eval.NormalizedErrorPairs();
-        bool merged = false;
-        for (const auto& [pair, weight] : ranked) {
-          if (grouping.MergeByTokens(pair.first, pair.second)) {
-            merged = true;
-            break;
-          }
-        }
-        if (!merged) break;
+  // Merge in grid order: best accepted family per (label, partition).
+  std::map<std::string, ViewFamily> accepted;
+  for (std::vector<ViewFamily>& families : cell_results) {
+    for (ViewFamily& family : families) {
+      std::string key = FamilyPartitionKey(family);
+      auto it = accepted.find(key);
+      if (it == accepted.end() ||
+          it->second.significance < family.significance) {
+        accepted[key] = std::move(family);
       }
     }
   }

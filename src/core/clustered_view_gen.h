@@ -25,6 +25,7 @@
 
 #include "common/random.h"
 #include "core/context_options.h"
+#include "exec/thread_pool.h"
 #include "ml/classifier.h"
 #include "relational/table.h"
 #include "relational/view.h"
@@ -44,12 +45,21 @@ using ClassifierFactory =
 /// `label_attributes` / `evidence_attributes` default (when empty) to the
 /// categorical / non-categorical attributes of the sample under
 /// `categorical`.
+///
+/// When `pool` is non-null the (l, h) classifier grid is trained and
+/// evaluated concurrently, one task per cell.  Each cell derives its own
+/// RNG stream from a single seed drawn from `rng` (exec/task_rng.h) and the
+/// per-cell results are merged in grid order, so the output is identical at
+/// any pool size — including the serial `pool == nullptr` path.  `factory`
+/// must be safe to invoke concurrently (both built-in factories are: they
+/// only read captured state).
 std::vector<ViewFamily> ClusteredViewGen(
     const Table& source_sample, const ClassifierFactory& factory,
     const ClusteredViewGenOptions& options,
     const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
     std::vector<std::string> label_attributes = {},
-    std::vector<std::string> evidence_attributes = {});
+    std::vector<std::string> evidence_attributes = {},
+    exec::ThreadPool* pool = nullptr);
 
 }  // namespace csm
 

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <numeric>
 #include <map>
 #include <set>
 
 #include "common/logging.h"
+#include "exec/parallel.h"
+#include "exec/task_rng.h"
+#include "exec/thread_pool.h"
 #include "match/matchers.h"
 #include "match/session.h"
 
@@ -20,6 +24,7 @@ double SecondsSince(Clock::time_point start) {
 }
 
 /// Per-source-table state kept across the staged (conjunctive) runs.
+/// Read-only once built, so it can be shared by concurrent scoring tasks.
 struct SourceState {
   const Table* sample = nullptr;
   std::unique_ptr<TableMatchSession> session;
@@ -37,18 +42,30 @@ std::vector<Value> BagAtRows(const Table& sample,
   return bag;
 }
 
-/// Scores every accepted match of `state` against `candidate`, appending
-/// the conditional versions to `pool`.
+/// Scores of one candidate view, produced on a worker and merged into the
+/// ScoredPool by the caller in candidate order.
+struct ScoredFragment {
+  /// False when no source state matched the candidate's base table (the
+  /// view is recorded as a candidate but nothing is scored).
+  bool scored = false;
+  size_t view_rows = 0;
+  MatchList view_matches;
+};
+
+/// Scores every accepted match of `state` against `candidate`.
 ///
 /// With placebo correction (see ContextMatchOptions), each pair is also
 /// scored on a random row subset of the same cardinality as the view; the
 /// confidence shift a *random* shrinkage induces (placebo - base) is
 /// subtracted from the view's confidence, so only condition-specific
 /// effects remain.
-void ScoreCandidate(const SourceState& state, const View& candidate,
-                    bool placebo_correction, Rng& rng, ScoredPool& pool) {
-  const std::string view_key =
-      candidate.base_table() + "\x1d" + candidate.condition().ToString();
+///
+/// Pure function of (state, candidate, rng): touches no shared mutable
+/// state, so candidates can be scored concurrently.
+ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
+                              bool placebo_correction, Rng& rng) {
+  ScoredFragment fragment;
+  fragment.scored = true;
   // One restricted sample per source attribute, so each attribute's
   // restriction — and its cached token profiles — is built once per view
   // no matter how many target attributes it is scored against.
@@ -63,7 +80,6 @@ void ScoreCandidate(const SourceState& state, const View& candidate,
       view_rows.push_back(r);
     }
   }
-  pool.view_row_counts[view_key] = 0;  // filled below
   if (placebo_correction) {
     placebo_rows.resize(state.sample->num_rows());
     std::iota(placebo_rows.begin(), placebo_rows.end(), 0);
@@ -72,7 +88,7 @@ void ScoreCandidate(const SourceState& state, const View& candidate,
     std::sort(placebo_rows.begin(), placebo_rows.end());
   }
 
-  pool.view_row_counts[view_key] = view_rows.size();
+  fragment.view_rows = view_rows.size();
 
   for (const Match& base : state.accepted) {
     const std::string& attr = base.source.attribute;
@@ -108,8 +124,9 @@ void ScoreCandidate(const SourceState& state, const View& candidate,
     conditional.condition = candidate.condition();
     conditional.score = ms.score;
     conditional.confidence = confidence;
-    pool.view_matches.push_back(std::move(conditional));
+    fragment.view_matches.push_back(std::move(conditional));
   }
+  return fragment;
 }
 
 std::string ViewKey(const View& view) {
@@ -133,21 +150,41 @@ ContextMatchResult ConjunctiveContextMatch(const Database& source,
   std::unique_ptr<ViewInference> inference =
       MakeViewInference(options.inference, options);
 
-  // Phase 1: standard match per source table.
+  // Worker pool shared by every parallel phase.  threads == 1 keeps the
+  // serial path (no pool, ParallelFor/Map run inline); the work
+  // decomposition and RNG streams are the same either way, so results are
+  // bit-identical at any thread count.
+  const size_t threads = exec::EffectiveThreads(options.threads);
+  result.threads_used = threads;
+  std::unique_ptr<exec::ThreadPool> pool_storage;
+  exec::ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool_storage = std::make_unique<exec::ThreadPool>(threads);
+    pool = pool_storage.get();
+  }
+
+  // Phase 1: standard match per source table, all tables concurrently.
+  // Session construction and AcceptedMatches draw no random numbers, and
+  // the per-table results are appended in table order below.
   std::vector<SourceState> states;
   {
     auto start = Clock::now();
-    for (const Table& table : source.tables()) {
+    const auto& tables = source.tables();
+    states = exec::ParallelMap(pool, tables.size(), [&](size_t i) {
       SourceState state;
-      state.sample = &table;
+      state.sample = &tables[i];
       state.session = std::make_unique<TableMatchSession>(
-          table, target, DefaultMatcherSuite(), options.match);
+          tables[i], target, DefaultMatcherSuite(), options.match);
       state.accepted = state.session->AcceptedMatches(options.tau);
+      return state;
+    });
+    for (const SourceState& state : states) {
       for (const Match& m : state.accepted) {
         result.pool.base_matches.push_back(m);
       }
-      states.push_back(std::move(state));
+      result.counters["base_matches"] += state.accepted.size();
     }
+    result.counters["source_tables"] += states.size();
     result.standard_match_seconds = SecondsSince(start);
   }
 
@@ -191,6 +228,7 @@ ContextMatchResult ConjunctiveContextMatch(const Database& source,
         input.early_disjuncts = options.early_disjuncts;
         input.excluded_partition_attributes =
             base.condition.MentionedAttributes();
+        input.pool = pool;  // classifier grid trains concurrently
 
         for (CandidateView& candidate :
              inference->InferCandidateViews(input, rng)) {
@@ -209,16 +247,36 @@ ContextMatchResult ConjunctiveContextMatch(const Database& source,
       result.inference_seconds += SecondsSince(start);
     }
     if (stage_candidates.empty()) break;
+    result.counters["candidate_views"] += stage_candidates.size();
 
     {
       auto start = Clock::now();
-      for (const CandidateView& candidate : stage_candidates) {
-        for (const SourceState& state : states) {
-          if (state.sample->name() != candidate.view.base_table()) continue;
-          ScoreCandidate(state, candidate.view, options.placebo_correction,
-                         rng, result.pool);
+      // All candidates score concurrently: candidate i gets its own RNG
+      // stream split off one sequential draw, and the fragments are merged
+      // in candidate order, so the pool is byte-identical to a serial run.
+      const uint64_t scoring_seed = rng.Next();
+      std::vector<ScoredFragment> fragments =
+          exec::ParallelMap(pool, stage_candidates.size(), [&](size_t i) {
+            const View& view = stage_candidates[i].view;
+            for (const SourceState& state : states) {
+              if (state.sample->name() != view.base_table()) continue;
+              Rng task_rng = exec::TaskRng(scoring_seed, i);
+              return ScoreCandidate(state, view, options.placebo_correction,
+                                    task_rng);
+            }
+            return ScoredFragment{};  // no source table with that name
+          });
+      for (size_t i = 0; i < stage_candidates.size(); ++i) {
+        ScoredFragment& fragment = fragments[i];
+        const View& view = stage_candidates[i].view;
+        if (fragment.scored) {
+          result.pool.view_row_counts[ViewKey(view)] = fragment.view_rows;
+          result.counters["view_matches"] += fragment.view_matches.size();
+          for (Match& m : fragment.view_matches) {
+            result.pool.view_matches.push_back(std::move(m));
+          }
         }
-        result.pool.candidate_views.push_back(candidate.view);
+        result.pool.candidate_views.push_back(view);
       }
       result.scoring_seconds += SecondsSince(start);
     }

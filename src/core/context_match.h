@@ -4,6 +4,9 @@
 #ifndef CSM_CORE_CONTEXT_MATCH_H_
 #define CSM_CORE_CONTEXT_MATCH_H_
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/context_options.h"
@@ -29,6 +32,13 @@ struct ContextMatchResult {
   double inference_seconds = 0.0;
   double scoring_seconds = 0.0;
   double selection_seconds = 0.0;
+
+  /// Worker threads the run used (ContextMatchOptions::threads after
+  /// resolving 0 to the hardware concurrency).
+  size_t threads_used = 1;
+  /// Work-volume counters (source_tables, base_matches, candidate_views,
+  /// view_matches) — independent of the thread count.
+  std::map<std::string, uint64_t> counters;
 
   double TotalSeconds() const {
     return standard_match_seconds + inference_seconds + scoring_seconds +

@@ -66,6 +66,13 @@ struct ContextMatchOptions {
   /// every restriction look slightly worse on semantically unrelated pairs,
   /// and the summed bias drowns real improvements on wide schemas.
   bool placebo_correction = true;
+  /// Worker threads for the parallel phases (session building, candidate
+  /// scoring, classifier-grid training).  1 = serial legacy path (no pool is
+  /// created); 0 = one thread per hardware core; N = exactly N workers.
+  /// Results are bit-identical for every value: work decomposition and RNG
+  /// streams are fixed up front, only the scheduling changes (see
+  /// DESIGN.md "Threading model & determinism").
+  size_t threads = 1;
 
   ClusteredViewGenOptions clustered;
   CategoricalOptions categorical;

@@ -50,7 +50,7 @@ std::vector<CandidateView> SrcClassInfer::InferCandidateViews(
   };
   std::vector<ViewFamily> families = ClusteredViewGen(
       *input.source_sample, factory, clustered_, categorical_,
-      input.early_disjuncts, rng, std::move(labels));
+      input.early_disjuncts, rng, std::move(labels), {}, input.pool);
   return CandidatesFromFamilies(families);
 }
 

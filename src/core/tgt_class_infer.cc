@@ -121,7 +121,7 @@ std::vector<CandidateView> TgtClassInfer::InferCandidateViews(
   };
   std::vector<ViewFamily> families = ClusteredViewGen(
       *input.source_sample, factory, clustered_, categorical_,
-      input.early_disjuncts, rng, std::move(labels));
+      input.early_disjuncts, rng, std::move(labels), {}, input.pool);
   return CandidatesFromFamilies(families);
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "core/context_options.h"
+#include "exec/thread_pool.h"
 #include "match/match_types.h"
 #include "relational/table.h"
 #include "relational/view.h"
@@ -32,6 +33,10 @@ struct InferenceInput {
   /// iteration of Section 3.5 excludes attributes already in the stage's
   /// condition).
   std::vector<std::string> excluded_partition_attributes;
+  /// Optional worker pool for the classifier-grid strategies; null runs the
+  /// exact serial path.  Results are identical either way (see
+  /// ClusteredViewGen).
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// One proposed candidate view plus the evidence that produced it.

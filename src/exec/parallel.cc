@@ -1,0 +1,75 @@
+#include "exec/parallel.h"
+
+namespace csm {
+namespace exec {
+namespace {
+
+/// State shared by the caller and the helper tasks of one ParallelFor.
+/// Heap-allocated and shared_ptr-owned so helper tasks that lose the race
+/// with the caller's final wake-up can still touch it safely.
+struct LoopState {
+  explicit LoopState(size_t n) : limit(n) {}
+
+  const size_t limit;
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t helpers_running = 0;
+  std::exception_ptr first_exception;  // guarded by mu
+
+  /// Claims and runs iterations until the range is drained or aborted.
+  void Drain(const std::function<void(size_t)>& body) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= limit) return;
+      try {
+        body(i);
+      } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_exception) first_exception = std::current_exception();
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  const bool serial =
+      pool == nullptr || pool->size() <= 1 || n == 1 || ThreadPool::InWorker();
+  if (serial) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>(n);
+  // The caller participates too, so helpers beyond n-1 are pointless.
+  const size_t helpers = std::min(pool->size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->helpers_running = helpers;
+  }
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state, &body] {
+      state->Drain(body);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->helpers_running == 0) state->done_cv.notify_all();
+    });
+  }
+
+  state->Drain(body);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->helpers_running == 0; });
+  if (state->first_exception) std::rethrow_exception(state->first_exception);
+}
+
+}  // namespace exec
+}  // namespace csm

@@ -1,0 +1,54 @@
+// ParallelFor / ParallelMap: order-preserving data-parallel loops on top of
+// exec::ThreadPool.
+//
+// Contract: the result (including exception behaviour and output order) is
+// identical whether the loop runs serially or on N workers — parallelism
+// only changes wall-clock time.  Callers are responsible for making the
+// body safe to run concurrently for distinct indices; per-task RNG streams
+// come from exec/task_rng.h, never from shared mutable generators.
+
+#ifndef CSM_EXEC_PARALLEL_H_
+#define CSM_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace csm {
+namespace exec {
+
+/// Runs body(i) for every i in [0, n).  Serial when `pool` is null, has a
+/// single worker, n <= 1, or the calling thread is itself a pool worker
+/// (the nested-submit deadlock guard — inline execution needs no queue
+/// slot, so nesting can never exhaust the pool).
+///
+/// The first exception thrown by any invocation is rethrown on the calling
+/// thread after all in-flight iterations finish; remaining unclaimed
+/// iterations are abandoned.  The calling thread participates in the loop,
+/// so progress is guaranteed even if the pool is busy elsewhere.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+/// Runs fn(i) for every i in [0, n) and returns the results in index order.
+/// T must be default-constructible and move-assignable.  Same serial /
+/// exception semantics as ParallelFor.
+template <typename Fn>
+auto ParallelMap(ThreadPool* pool, size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  using T = decltype(fn(size_t{0}));
+  std::vector<T> out(n);
+  ParallelFor(pool, n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace exec
+}  // namespace csm
+
+#endif  // CSM_EXEC_PARALLEL_H_

@@ -1,0 +1,67 @@
+// Thread-safe per-phase timing and counter aggregation for the parallel
+// pipeline: workers report into a shared PhaseStats, and the driver exports
+// a plain-map snapshot into its result struct.
+
+#ifndef CSM_EXEC_PHASE_STATS_H_
+#define CSM_EXEC_PHASE_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace csm {
+namespace exec {
+
+/// Accumulates named wall-clock totals and event counters.  All methods are
+/// safe to call concurrently.
+class PhaseStats {
+ public:
+  void AddSeconds(const std::string& phase, double seconds);
+  void AddCount(const std::string& counter, uint64_t n = 1);
+
+  double Seconds(const std::string& phase) const;
+  uint64_t Count(const std::string& counter) const;
+
+  /// Plain-value snapshots for embedding into result structs.
+  std::map<std::string, double> SecondsSnapshot() const;
+  std::map<std::string, uint64_t> CountsSnapshot() const;
+
+  /// "phase: 1.234s" / "counter: 42" lines, sorted by name.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> seconds_;
+  std::map<std::string, uint64_t> counts_;
+};
+
+/// RAII timer adding its elapsed wall-clock to `stats[phase]`.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseStats* stats, std::string phase)
+      : stats_(stats),
+        phase_(std::move(phase)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedPhaseTimer() {
+    stats_->AddSeconds(
+        phase_, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start_)
+                    .count());
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseStats* stats_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace exec
+}  // namespace csm
+
+#endif  // CSM_EXEC_PHASE_STATS_H_

@@ -1,0 +1,37 @@
+// Deterministic per-task RNG splitting.
+//
+// Parallel phases must not thread one Rng through their tasks: the
+// interleaving would depend on scheduling.  Instead the phase draws a
+// single 64-bit phase seed from its sequential Rng, and every task derives
+// an independent stream from (phase seed, task index).  The resulting
+// streams are identical at any thread count, so results are bit-identical
+// between threads=1 and threads=N.
+
+#ifndef CSM_EXEC_TASK_RNG_H_
+#define CSM_EXEC_TASK_RNG_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace csm {
+namespace exec {
+
+/// Mixes (phase_seed, stream) into a task seed.  splitmix64-style finalizer
+/// so consecutive stream indices produce uncorrelated seeds.
+inline uint64_t TaskSeed(uint64_t phase_seed, uint64_t stream) {
+  uint64_t z = phase_seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// An Rng positioned at the start of task `stream`'s private sequence.
+inline Rng TaskRng(uint64_t phase_seed, uint64_t stream) {
+  return Rng(TaskSeed(phase_seed, stream));
+}
+
+}  // namespace exec
+}  // namespace csm
+
+#endif  // CSM_EXEC_TASK_RNG_H_

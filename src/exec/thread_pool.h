@@ -1,0 +1,74 @@
+// A fixed-size thread pool: the execution substrate for the parallel
+// phases of the matching pipeline (see exec/parallel.h for the ParallelFor
+// / ParallelMap primitives built on top of it).
+//
+// Design constraints, in order:
+//   1. Determinism — the pool never decides *what* work runs, only *where*;
+//      task decomposition and RNG streams are fixed by the caller (see
+//      exec/task_rng.h), so results are bit-identical at any pool size.
+//   2. No exceptions across the pool boundary — tasks are noexcept-invoked
+//      wrappers; ParallelFor captures the first std::exception_ptr and
+//      rethrows on the calling thread.
+//   3. Nested-submit safety — a worker thread that itself calls ParallelFor
+//      runs the loop inline instead of submitting (a blocking wait inside a
+//      worker would deadlock once all workers wait on each other).
+
+#ifndef CSM_EXEC_THREAD_POOL_H_
+#define CSM_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csm {
+namespace exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is clamped to 1).  The pool is fixed
+  /// size for its whole lifetime.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw (wrap with an exception_ptr
+  /// capture — ParallelFor does).  Safe to call from any thread, including
+  /// workers of this or another pool.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is a worker of *any* ThreadPool.  Used as
+  /// the nested-submit deadlock guard: parallel primitives called from a
+  /// worker run inline.
+  static bool InWorker();
+
+  /// std::thread::hardware_concurrency() clamped to at least 1.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolves a `threads` knob to an effective worker count: 0 means "use all
+/// hardware threads", anything else is taken literally.
+size_t EffectiveThreads(size_t threads);
+
+}  // namespace exec
+}  // namespace csm
+
+#endif  // CSM_EXEC_THREAD_POOL_H_

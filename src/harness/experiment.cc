@@ -39,4 +39,13 @@ size_t BenchRepetitions(size_t default_reps) {
   return default_reps;
 }
 
+size_t BenchThreads(size_t default_threads) {
+  const char* env = std::getenv("CSM_BENCH_THREADS");
+  if (env != nullptr) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 0) return static_cast<size_t>(parsed);
+  }
+  return default_threads;
+}
+
 }  // namespace csm

@@ -53,6 +53,11 @@ class Stopwatch {
 /// trade precision for speed.
 size_t BenchRepetitions(size_t default_reps);
 
+/// Worker threads the benches run ContextMatch with; override with
+/// CSM_BENCH_THREADS (0 = all hardware threads — see
+/// ContextMatchOptions::threads).  Results are identical at any value.
+size_t BenchThreads(size_t default_threads);
+
 }  // namespace csm
 
 #endif  // CSM_HARNESS_EXPERIMENT_H_

@@ -21,38 +21,38 @@ size_t AttributeSample::NonNullCount() const {
 }
 
 const TokenProfile& AttributeSample::QGramProfile() const {
-  if (!qgram_profile_) {
+  std::call_once(caches_->qgram_once, [this] {
     TokenProfile profile;
     for (const Value& v : values_) {
       if (v.is_null()) continue;
       profile.AddAll(QGrams(v.ToString(), 3));
     }
-    qgram_profile_ = std::move(profile);
-  }
-  return *qgram_profile_;
+    caches_->qgram_profile = std::move(profile);
+  });
+  return *caches_->qgram_profile;
 }
 
 const TokenProfile& AttributeSample::WordProfile() const {
-  if (!word_profile_) {
+  std::call_once(caches_->word_once, [this] {
     TokenProfile profile;
     for (const Value& v : values_) {
       if (v.is_null()) continue;
       profile.AddAll(WordTokens(v.ToString()));
     }
-    word_profile_ = std::move(profile);
-  }
-  return *word_profile_;
+    caches_->word_profile = std::move(profile);
+  });
+  return *caches_->word_profile;
 }
 
 const DescriptiveStats& AttributeSample::NumericStats() const {
-  if (!numeric_stats_) {
+  std::call_once(caches_->numeric_once, [this] {
     DescriptiveStats stats;
     for (const Value& v : values_) {
       if (v.IsNumeric()) stats.Add(v.AsNumeric());
     }
-    numeric_stats_ = stats;
-  }
-  return *numeric_stats_;
+    caches_->numeric_stats = stats;
+  });
+  return *caches_->numeric_stats;
 }
 
 bool AttributeSample::MostlyNumeric(double fraction) const {

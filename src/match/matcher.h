@@ -6,6 +6,7 @@
 #define CSM_MATCH_MATCHER_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,6 +23,12 @@ namespace csm {
 /// lazily and cached, so a sample kept alive across many Score() calls
 /// (e.g., a target attribute compared against many candidate views) pays
 /// the tokenization cost once.
+///
+/// Thread safety: the lazy caches are built under std::call_once, so a
+/// sample shared across ParallelFor workers (a TableMatchSession's target
+/// samples during parallel candidate-view scoring) may be read from any
+/// number of threads concurrently.  Copies share the cache block — the
+/// values are identical, so the derived profiles are too.
 class AttributeSample {
  public:
   AttributeSample() = default;
@@ -54,13 +61,21 @@ class AttributeSample {
   bool MostlyNumeric(double fraction = 0.5) const;
 
  private:
+  /// Lazily built caches guarded by once-flags (which are neither copyable
+  /// nor movable, hence the shared heap block).
+  struct Caches {
+    std::once_flag qgram_once;
+    std::once_flag word_once;
+    std::once_flag numeric_once;
+    std::optional<TokenProfile> qgram_profile;
+    std::optional<TokenProfile> word_profile;
+    std::optional<DescriptiveStats> numeric_stats;
+  };
+
   AttributeRef ref_;
   ValueType type_ = ValueType::kString;
   std::vector<Value> values_;
-
-  mutable std::optional<TokenProfile> qgram_profile_;
-  mutable std::optional<TokenProfile> word_profile_;
-  mutable std::optional<DescriptiveStats> numeric_stats_;
+  std::shared_ptr<Caches> caches_ = std::make_shared<Caches>();
 };
 
 /// One matching heuristic.  Implementations must be stateless with respect

@@ -1,0 +1,114 @@
+// Bit-identical results across thread counts (DESIGN.md "Threading model &
+// determinism"): ContextMatch with threads=N must produce byte-identical
+// matches, selected views and scored-pool contents to threads=1, because
+// the work decomposition and per-task RNG streams are fixed up front and
+// only the scheduling changes.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/context_match.h"
+#include "datagen/grades_gen.h"
+#include "datagen/retail_gen.h"
+
+namespace csm {
+namespace {
+
+/// Canonical serialization of everything a run produced.
+std::string Fingerprint(const ContextMatchResult& r) {
+  std::string out;
+  out += "matches:\n";
+  for (const Match& m : r.matches) out += "  " + m.ToString() + "\n";
+  out += "selected_views:\n";
+  for (const View& v : r.selected_views) {
+    out += "  " + v.name() + "|" + v.base_table() + "|" +
+           v.condition().ToString() + "\n";
+  }
+  out += "base_matches:\n";
+  for (const Match& m : r.pool.base_matches) out += "  " + m.ToString() + "\n";
+  out += "view_matches:\n";
+  for (const Match& m : r.pool.view_matches) out += "  " + m.ToString() + "\n";
+  out += "candidate_views:\n";
+  for (const View& v : r.pool.candidate_views) {
+    out += "  " + v.base_table() + "|" + v.condition().ToString() + "\n";
+  }
+  out += "view_row_counts:\n";
+  for (const auto& [key, count] : r.pool.view_row_counts) {
+    out += "  " + key + "=" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::string RunRetail(uint64_t data_seed, uint64_t match_seed,
+                      size_t threads) {
+  RetailOptions d;
+  d.num_items = 200;
+  d.gamma = 2;
+  d.seed = data_seed;
+  RetailDataset data = MakeRetailDataset(d);
+  ContextMatchOptions o;
+  o.inference = ViewInferenceKind::kSrcClass;
+  o.early_disjuncts = true;
+  o.omega = 0.05;
+  o.seed = match_seed;
+  o.threads = threads;
+  return Fingerprint(ContextMatch(data.source, data.target, o));
+}
+
+std::string RunGrades(uint64_t data_seed, uint64_t match_seed,
+                      size_t threads) {
+  GradesOptions d;
+  d.num_students = 120;
+  d.seed = data_seed;
+  GradesDataset data = MakeGradesDataset(d);
+  ContextMatchOptions o;
+  o.tau = 0.45;
+  o.omega = 0.025;
+  o.early_disjuncts = false;
+  o.seed = match_seed;
+  o.threads = threads;
+  return Fingerprint(ContextMatch(data.source, data.target, o));
+}
+
+TEST(ThreadDeterminismTest, RetailIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {1u, 7u, 31u}) {
+    const std::string serial = RunRetail(seed, seed + 1, /*threads=*/1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, RunRetail(seed, seed + 1, /*threads=*/2))
+        << "threads=2 diverged, seed " << seed;
+    EXPECT_EQ(serial, RunRetail(seed, seed + 1, /*threads=*/4))
+        << "threads=4 diverged, seed " << seed;
+  }
+}
+
+TEST(ThreadDeterminismTest, GradesIdenticalAcrossThreadCounts) {
+  for (uint64_t seed : {3u, 11u}) {
+    const std::string serial = RunGrades(seed, seed + 1, /*threads=*/1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, RunGrades(seed, seed + 1, /*threads=*/4))
+        << "threads=4 diverged, seed " << seed;
+  }
+}
+
+TEST(ThreadDeterminismTest, HardwareThreadsKnobMatchesSerial) {
+  // threads=0 resolves to the hardware concurrency; still identical.
+  EXPECT_EQ(RunRetail(5, 6, /*threads=*/1), RunRetail(5, 6, /*threads=*/0));
+}
+
+TEST(ThreadDeterminismTest, ReportsThreadsUsed) {
+  RetailOptions d;
+  d.num_items = 60;
+  d.seed = 9;
+  RetailDataset data = MakeRetailDataset(d);
+  ContextMatchOptions o;
+  o.seed = 10;
+  o.threads = 3;
+  ContextMatchResult r = ContextMatch(data.source, data.target, o);
+  EXPECT_EQ(r.threads_used, 3u);
+  EXPECT_EQ(r.counters.at("source_tables"), data.source.tables().size());
+}
+
+}  // namespace
+}  // namespace csm
