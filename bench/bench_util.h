@@ -1,18 +1,70 @@
 // Shared trial runners for the figure benches: one ContextMatch run over a
 // generated data set, reporting the Section 5 quality metrics plus phase
-// timings.
+// timings and per-unit latency quantiles from the run's PhaseReport.
+//
+// Set CSM_BENCH_TRACE=<prefix> to make every trial write a Chrome trace
+// (load in chrome://tracing or https://ui.perfetto.dev) to
+// "<prefix>-<dataset>-<seed>.json".
 
 #ifndef CSM_BENCH_BENCH_UTIL_H_
 #define CSM_BENCH_BENCH_UTIL_H_
 
-#include "core/context_match.h"
+#include <cstdlib>
+#include <string>
+
+#include "core/match_engine.h"
 #include "datagen/grades_gen.h"
 #include "datagen/retail_gen.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "obs/trace.h"
 
 namespace csm {
 namespace bench {
+
+/// The CSM_BENCH_TRACE prefix, or null when tracing is off.
+inline const char* BenchTracePrefix() {
+  const char* env = std::getenv("CSM_BENCH_TRACE");
+  return (env != nullptr && *env != '\0') ? env : nullptr;
+}
+
+/// Folds a run's PhaseReport into the trial metrics under the legacy bench
+/// JSON key names, plus per-unit latency quantiles from the histograms.
+inline void AddPhaseMetrics(const ContextMatchResult& result,
+                            MetricMap& metrics) {
+  metrics["match_seconds"] = result.TotalSeconds();
+  metrics["standard_match_seconds"] = result.phases.Seconds("standard_match");
+  metrics["inference_seconds"] = result.phases.Seconds("inference");
+  metrics["scoring_seconds"] = result.phases.Seconds("scoring");
+  metrics["selection_seconds"] = result.phases.Seconds("selection");
+  metrics["threads"] = static_cast<double>(result.threads_used);
+  const obs::HistogramSummary scoring =
+      result.phases.Histogram("scoring.view_seconds");
+  metrics["scoring_view_p50_seconds"] = scoring.p50;
+  metrics["scoring_view_p95_seconds"] = scoring.p95;
+  const obs::HistogramSummary cells =
+      result.phases.Histogram("inference.cell_seconds");
+  metrics["inference_cell_p50_seconds"] = cells.p50;
+  metrics["inference_cell_p95_seconds"] = cells.p95;
+}
+
+/// One engine run with optional CSM_BENCH_TRACE trace export.
+inline ContextMatchResult RunEngineTrial(const Database& source,
+                                         const Database& target,
+                                         const ContextMatchOptions& options,
+                                         const std::string& dataset,
+                                         uint64_t seed) {
+  MatchEngine engine(options);
+  obs::Tracer tracer;
+  const char* trace_prefix = BenchTracePrefix();
+  if (trace_prefix != nullptr) engine.set_tracer(&tracer);
+  ContextMatchResult result = engine.Match(source, target);
+  if (trace_prefix != nullptr) {
+    tracer.WriteChromeTrace(std::string(trace_prefix) + "-" + dataset + "-" +
+                            std::to_string(seed) + ".json");
+  }
+  return result;
+}
 
 /// Runs ContextMatch on a Retail data set and returns the quality metrics.
 inline MetricMap RetailTrial(RetailOptions data_options,
@@ -22,7 +74,7 @@ inline MetricMap RetailTrial(RetailOptions data_options,
   match_options.seed = seed ^ 0x9e3779b97f4a7c15ULL;
   RetailDataset data = MakeRetailDataset(data_options);
   ContextMatchResult result =
-      ContextMatch(data.source, data.target, match_options);
+      RunEngineTrial(data.source, data.target, match_options, "retail", seed);
   MatchQuality quality = EvaluateMatches(data.truth, result.matches);
   MetricMap metrics;
   metrics["fmeasure"] = quality.fmeasure;
@@ -30,12 +82,7 @@ inline MetricMap RetailTrial(RetailOptions data_options,
   metrics["precision"] = quality.precision;
   metrics["views"] = static_cast<double>(result.pool.candidate_views.size());
   metrics["selected"] = static_cast<double>(result.selected_views.size());
-  metrics["match_seconds"] = result.TotalSeconds();
-  metrics["standard_match_seconds"] = result.standard_match_seconds;
-  metrics["inference_seconds"] = result.inference_seconds;
-  metrics["scoring_seconds"] = result.scoring_seconds;
-  metrics["selection_seconds"] = result.selection_seconds;
-  metrics["threads"] = static_cast<double>(result.threads_used);
+  AddPhaseMetrics(result, metrics);
   return metrics;
 }
 
@@ -47,7 +94,7 @@ inline MetricMap GradesTrial(GradesOptions data_options,
   match_options.seed = seed ^ 0x9e3779b97f4a7c15ULL;
   GradesDataset data = MakeGradesDataset(data_options);
   ContextMatchResult result =
-      ContextMatch(data.source, data.target, match_options);
+      RunEngineTrial(data.source, data.target, match_options, "grades", seed);
   MatchQuality quality = EvaluateMatches(data.truth, result.matches);
   MetricMap metrics;
   metrics["fmeasure"] = quality.fmeasure;
@@ -55,12 +102,7 @@ inline MetricMap GradesTrial(GradesOptions data_options,
   metrics["precision"] = quality.precision;
   metrics["views"] = static_cast<double>(result.pool.candidate_views.size());
   metrics["selected"] = static_cast<double>(result.selected_views.size());
-  metrics["match_seconds"] = result.TotalSeconds();
-  metrics["standard_match_seconds"] = result.standard_match_seconds;
-  metrics["inference_seconds"] = result.inference_seconds;
-  metrics["scoring_seconds"] = result.scoring_seconds;
-  metrics["selection_seconds"] = result.selection_seconds;
-  metrics["threads"] = static_cast<double>(result.threads_used);
+  AddPhaseMetrics(result, metrics);
   return metrics;
 }
 

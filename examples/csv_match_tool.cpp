@@ -15,6 +15,11 @@
 //   --seed=N         RNG seed                             (default 1)
 //   --threads=N      worker threads; 0 = all cores        (default 1)
 //                    (results are identical for every N)
+//   --trace-out=F    write a Chrome trace of the run to F
+//                    (open in chrome://tracing or https://ui.perfetto.dev)
+//   --metrics-out=F  write the run's metrics (phase seconds, counters,
+//                    latency histograms) as JSON to F; "-" prints a
+//                    readable summary to stdout
 //
 // Demo (no arguments): generates the Retail data set into a temp directory
 // and matches it, so the tool is runnable out of the box.
@@ -22,11 +27,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
-#include "core/context_match.h"
-#include "core/target_context.h"
+#include "core/match_engine.h"
 #include "datagen/retail_gen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/csv.h"
 
 namespace {
@@ -91,6 +98,7 @@ int main(int argc, char** argv) {
   options.omega = 0.1;
   size_t stages = 1;
   bool target_views = false;
+  std::string trace_out, metrics_out;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   std::vector<std::string> positional;
@@ -123,6 +131,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown --select value '%s'\n", value.c_str());
         return 2;
       }
+    } else if (ParseFlag(arg, "trace-out", &value)) {
+      trace_out = value;
+    } else if (ParseFlag(arg, "metrics-out", &value)) {
+      metrics_out = value;
     } else if (arg == "--late") {
       options.early_disjuncts = false;
     } else if (arg == "--target-views") {
@@ -174,8 +186,15 @@ int main(int argc, char** argv) {
               options.early_disjuncts ? "EarlyDisjuncts" : "LateDisjuncts",
               stages, options.threads);
 
-  ContextMatchResult result =
-      ConjunctiveContextMatch(*source, *target, options, stages);
+  // One engine for the whole invocation: the --target-views pass below
+  // reuses its thread pool, and the optional sinks see both runs.
+  MatchEngine engine(options);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (!trace_out.empty()) engine.set_tracer(&tracer);
+  if (!metrics_out.empty()) engine.set_metrics(&metrics);
+
+  ContextMatchResult result = engine.ConjunctiveMatch(*source, *target, stages);
   std::printf("-- selected views (%zu of %zu candidates) --\n",
               result.selected_views.size(),
               result.pool.candidate_views.size());
@@ -192,12 +211,36 @@ int main(int argc, char** argv) {
   if (target_views) {
     std::printf("\n-- target-side contextual matching --\n");
     TargetContextMatchResult reversed =
-        TargetContextMatch(*source, *target, options);
+        engine.TargetContextMatch(*source, *target);
     for (const View& v : reversed.selected_target_views) {
       std::printf("  target view: %s\n", v.ToString().c_str());
     }
     for (const Match& m : reversed.matches) {
       std::printf("  %s\n", m.ToString().c_str());
+    }
+  }
+
+  if (!trace_out.empty()) {
+    if (tracer.WriteChromeTrace(trace_out)) {
+      std::printf("\nwrote trace (%zu spans) to %s\n", tracer.span_count(),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (metrics_out == "-") {
+      std::printf("\n-- metrics --\n%s", metrics.ToString().c_str());
+    } else {
+      std::ofstream out(metrics_out);
+      out << metrics.ToJson() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      std::printf("\nwrote metrics to %s\n", metrics_out.c_str());
     }
   }
   return 0;

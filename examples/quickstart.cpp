@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/context_match.h"
+#include "core/match_engine.h"
 #include "datagen/retail_gen.h"
 
 int main() {
@@ -47,7 +47,8 @@ int main() {
   options.early_disjuncts = true;
   options.seed = 42;
 
-  ContextMatchResult result = ContextMatch(data.source, data.target, options);
+  MatchEngine engine(options);  // reusable: pool + session cache live here
+  ContextMatchResult result = engine.Match(data.source, data.target);
 
   std::printf("\n-- candidate views considered: %zu --\n",
               result.pool.candidate_views.size());
@@ -68,7 +69,8 @@ int main() {
       quality.accuracy, quality.precision, quality.fmeasure,
       quality.view_matches, quality.correct_matches);
   std::printf("total time %.3fs (standard %.3f, infer %.3f, score %.3f)\n",
-              result.TotalSeconds(), result.standard_match_seconds,
-              result.inference_seconds, result.scoring_seconds);
+              result.TotalSeconds(), result.phases.Seconds("standard_match"),
+              result.phases.Seconds("inference"),
+              result.phases.Seconds("scoring"));
   return 0;
 }

@@ -4,10 +4,14 @@
 #include <map>
 #include <set>
 
+#include <chrono>
+
 #include "common/logging.h"
 #include "exec/parallel.h"
 #include "exec/task_rng.h"
 #include "ml/evaluation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/categorical.h"
 #include "relational/sample.h"
 #include "stats/significance.h"
@@ -242,7 +246,8 @@ std::vector<ViewFamily> ClusteredViewGen(
     const ClusteredViewGenOptions& options,
     const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
     std::vector<std::string> label_attributes,
-    std::vector<std::string> evidence_attributes, exec::ThreadPool* pool) {
+    std::vector<std::string> evidence_attributes, exec::ThreadPool* pool,
+    const obs::ObsHooks& obs) {
   if (label_attributes.empty()) {
     label_attributes = CategoricalAttributes(source_sample, categorical);
   }
@@ -271,15 +276,39 @@ std::vector<ViewFamily> ClusteredViewGen(
     }
   }
 
+  if (obs.metrics != nullptr && !cells.empty()) {
+    obs.metrics->AddCounter("inference.grid_cells", cells.size());
+  }
+
   // One seed drawn from the sequential stream; each cell splits off its own
   // deterministic RNG, so the train/test partitions do not depend on the
   // number of workers (or on which other cells exist being re-ordered).
   const uint64_t grid_seed = rng.Next();
   std::vector<std::vector<ViewFamily>> cell_results =
       exec::ParallelMap(pool, cells.size(), [&](size_t i) {
+        std::string span_name;
+        if (obs.tracer != nullptr) {
+          span_name = "cell:" + *cells[i].label + "/" + *cells[i].evidence;
+        }
+        // Prefer the thread's current span (the pool-task span on workers,
+        // the caller's span inline); the explicit hook parent is the
+        // fallback when this runs on a pool with no tracer attached.
+        uint64_t parent = obs::Tracer::CurrentSpan();
+        if (parent == 0) parent = obs.parent_span;
+        obs::ScopedSpan span(obs.tracer, span_name, parent);
+        const auto cell_start = std::chrono::steady_clock::now();
         Rng cell_rng = exec::TaskRng(grid_seed, i);
-        return RunGridCell(source_sample, cells[i], factory, options,
-                           early_disjuncts, cell_rng);
+        std::vector<ViewFamily> families = RunGridCell(
+            source_sample, cells[i], factory, options, early_disjuncts,
+            cell_rng);
+        if (obs.metrics != nullptr) {
+          obs.metrics->Observe(
+              "inference.cell_seconds",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            cell_start)
+                  .count());
+        }
+        return families;
       });
 
   // Merge in grid order: best accepted family per (label, partition).

@@ -27,6 +27,7 @@
 #include "core/context_options.h"
 #include "exec/thread_pool.h"
 #include "ml/classifier.h"
+#include "obs/hooks.h"
 #include "relational/table.h"
 #include "relational/view.h"
 
@@ -53,13 +54,17 @@ using ClassifierFactory =
 /// any pool size — including the serial `pool == nullptr` path.  `factory`
 /// must be safe to invoke concurrently (both built-in factories are: they
 /// only read captured state).
+///
+/// `obs` optionally records one span and one "inference.cell_seconds"
+/// histogram observation per grid cell (plus an "inference.grid_cells"
+/// counter).  Observation never affects the emitted families.
 std::vector<ViewFamily> ClusteredViewGen(
     const Table& source_sample, const ClassifierFactory& factory,
     const ClusteredViewGenOptions& options,
     const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
     std::vector<std::string> label_attributes = {},
     std::vector<std::string> evidence_attributes = {},
-    exec::ThreadPool* pool = nullptr);
+    exec::ThreadPool* pool = nullptr, const obs::ObsHooks& obs = {});
 
 }  // namespace csm
 

@@ -1,318 +1,24 @@
 #include "core/context_match.h"
 
-#include <algorithm>
-#include <chrono>
-#include <memory>
-#include <numeric>
-#include <map>
-#include <set>
-
-#include "common/logging.h"
-#include "exec/parallel.h"
-#include "exec/task_rng.h"
-#include "exec/thread_pool.h"
-#include "match/matchers.h"
-#include "match/session.h"
+#include "core/match_engine.h"
 
 namespace csm {
-namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Per-source-table state kept across the staged (conjunctive) runs.
-/// Read-only once built, so it can be shared by concurrent scoring tasks.
-struct SourceState {
-  const Table* sample = nullptr;
-  std::unique_ptr<TableMatchSession> session;
-  MatchList accepted;  // standard matches from this table
-};
-
-/// Values of `attribute` at the given row indices of `sample`.
-std::vector<Value> BagAtRows(const Table& sample,
-                             const std::vector<size_t>& rows,
-                             std::string_view attribute) {
-  size_t col = sample.schema().AttributeIndex(attribute);
-  std::vector<Value> bag;
-  bag.reserve(rows.size());
-  for (size_t r : rows) bag.push_back(sample.row(r)[col]);
-  return bag;
-}
-
-/// Scores of one candidate view, produced on a worker and merged into the
-/// ScoredPool by the caller in candidate order.
-struct ScoredFragment {
-  /// False when no source state matched the candidate's base table (the
-  /// view is recorded as a candidate but nothing is scored).
-  bool scored = false;
-  size_t view_rows = 0;
-  MatchList view_matches;
-};
-
-/// Scores every accepted match of `state` against `candidate`.
-///
-/// With placebo correction (see ContextMatchOptions), each pair is also
-/// scored on a random row subset of the same cardinality as the view; the
-/// confidence shift a *random* shrinkage induces (placebo - base) is
-/// subtracted from the view's confidence, so only condition-specific
-/// effects remain.
-///
-/// Pure function of (state, candidate, rng): touches no shared mutable
-/// state, so candidates can be scored concurrently.
-ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
-                              bool placebo_correction, Rng& rng) {
-  ScoredFragment fragment;
-  fragment.scored = true;
-  // One restricted sample per source attribute, so each attribute's
-  // restriction — and its cached token profiles — is built once per view
-  // no matter how many target attributes it is scored against.
-  std::map<std::string, AttributeSample> samples;
-  std::map<std::string, AttributeSample> placebo_samples;
-
-  std::vector<size_t> view_rows;
-  std::vector<size_t> placebo_rows;
-  for (size_t r = 0; r < state.sample->num_rows(); ++r) {
-    if (candidate.condition().Evaluate(state.sample->schema(),
-                                       state.sample->row(r))) {
-      view_rows.push_back(r);
-    }
-  }
-  if (placebo_correction) {
-    placebo_rows.resize(state.sample->num_rows());
-    std::iota(placebo_rows.begin(), placebo_rows.end(), 0);
-    rng.Shuffle(placebo_rows);
-    placebo_rows.resize(view_rows.size());
-    std::sort(placebo_rows.begin(), placebo_rows.end());
-  }
-
-  fragment.view_rows = view_rows.size();
-
-  for (const Match& base : state.accepted) {
-    const std::string& attr = base.source.attribute;
-    auto it = samples.find(attr);
-    if (it == samples.end()) {
-      it = samples
-               .emplace(attr, state.session->MakeRestrictedSample(
-                                  attr,
-                                  BagAtRows(*state.sample, view_rows, attr)))
-               .first;
-    }
-    MatchScore ms =
-        state.session->ScoreRestrictedSample(it->second, base.target);
-    double confidence = ms.confidence;
-
-    if (placebo_correction) {
-      auto pit = placebo_samples.find(attr);
-      if (pit == placebo_samples.end()) {
-        pit = placebo_samples
-                  .emplace(attr,
-                           state.session->MakeRestrictedSample(
-                               attr, BagAtRows(*state.sample, placebo_rows,
-                                               attr)))
-                  .first;
-      }
-      MatchScore placebo =
-          state.session->ScoreRestrictedSample(pit->second, base.target);
-      confidence = std::clamp(
-          confidence - (placebo.confidence - base.confidence), 0.0, 1.0);
-    }
-
-    Match conditional = base;
-    conditional.condition = candidate.condition();
-    conditional.score = ms.score;
-    conditional.confidence = confidence;
-    fragment.view_matches.push_back(std::move(conditional));
-  }
-  return fragment;
-}
-
-std::string ViewKey(const View& view) {
-  return view.base_table() + "\x1d" + view.condition().ToString();
-}
-
-}  // namespace
+// The pipeline lives in MatchEngine (core/match_engine.cc); the free
+// functions are compatibility wrappers over a throwaway engine, so one-shot
+// callers keep the old API while repeat callers construct an engine and
+// reuse its pool and session cache.
 
 ContextMatchResult ContextMatch(const Database& source, const Database& target,
                                 const ContextMatchOptions& options) {
-  return ConjunctiveContextMatch(source, target, options, /*max_stages=*/1);
+  return MatchEngine(options).Match(source, target);
 }
 
 ContextMatchResult ConjunctiveContextMatch(const Database& source,
                                            const Database& target,
                                            const ContextMatchOptions& options,
                                            size_t max_stages) {
-  CSM_CHECK_GE(max_stages, 1u);
-  ContextMatchResult result;
-  Rng rng(options.seed);
-  std::unique_ptr<ViewInference> inference =
-      MakeViewInference(options.inference, options);
-
-  // Worker pool shared by every parallel phase.  threads == 1 keeps the
-  // serial path (no pool, ParallelFor/Map run inline); the work
-  // decomposition and RNG streams are the same either way, so results are
-  // bit-identical at any thread count.
-  const size_t threads = exec::EffectiveThreads(options.threads);
-  result.threads_used = threads;
-  std::unique_ptr<exec::ThreadPool> pool_storage;
-  exec::ThreadPool* pool = nullptr;
-  if (threads > 1) {
-    pool_storage = std::make_unique<exec::ThreadPool>(threads);
-    pool = pool_storage.get();
-  }
-
-  // Phase 1: standard match per source table, all tables concurrently.
-  // Session construction and AcceptedMatches draw no random numbers, and
-  // the per-table results are appended in table order below.
-  std::vector<SourceState> states;
-  {
-    auto start = Clock::now();
-    const auto& tables = source.tables();
-    states = exec::ParallelMap(pool, tables.size(), [&](size_t i) {
-      SourceState state;
-      state.sample = &tables[i];
-      state.session = std::make_unique<TableMatchSession>(
-          tables[i], target, DefaultMatcherSuite(), options.match);
-      state.accepted = state.session->AcceptedMatches(options.tau);
-      return state;
-    });
-    for (const SourceState& state : states) {
-      for (const Match& m : state.accepted) {
-        result.pool.base_matches.push_back(m);
-      }
-      result.counters["base_matches"] += state.accepted.size();
-    }
-    result.counters["source_tables"] += states.size();
-    result.standard_match_seconds = SecondsSince(start);
-  }
-
-  // Phase 2 (per stage): infer candidate views, then score the conditional
-  // version of every accepted match.
-  std::set<std::string> scored_keys;  // views already scored (any stage)
-  // Stage 1 bases: the source tables themselves (condition "true").
-  struct StageBase {
-    size_t state_index;
-    Condition condition;  // accumulated condition (true at stage 1)
-  };
-  std::vector<StageBase> stage_bases;
-  for (size_t i = 0; i < states.size(); ++i) {
-    stage_bases.push_back(StageBase{i, Condition::True()});
-  }
-
-  SelectionResult selection;
-  for (size_t stage = 0; stage < max_stages; ++stage) {
-    std::vector<CandidateView> stage_candidates;
-    {
-      auto start = Clock::now();
-      for (const StageBase& base : stage_bases) {
-        const SourceState& state = states[base.state_index];
-        if (state.accepted.empty()) continue;
-
-        // The inference input table: the base table at stage 1, the
-        // materialized view afterwards.
-        Table materialized;
-        const Table* infer_table = state.sample;
-        if (!base.condition.is_true()) {
-          View stage_view("stage", state.sample->name(), base.condition);
-          materialized = stage_view.Materialize(*state.sample);
-          materialized = materialized.Renamed(state.sample->name());
-          infer_table = &materialized;
-        }
-
-        InferenceInput input;
-        input.source_sample = infer_table;
-        input.target_sample = &target;
-        input.matches = &state.accepted;
-        input.early_disjuncts = options.early_disjuncts;
-        input.excluded_partition_attributes =
-            base.condition.MentionedAttributes();
-        input.pool = pool;  // classifier grid trains concurrently
-
-        for (CandidateView& candidate :
-             inference->InferCandidateViews(input, rng)) {
-          // Conjoin with the stage's accumulated condition.
-          if (!base.condition.is_true()) {
-            View conjoined(
-                candidate.view.name(), candidate.view.base_table(),
-                base.condition.Conjoin(candidate.view.condition()));
-            candidate.view = conjoined;
-          }
-          if (scored_keys.insert(ViewKey(candidate.view)).second) {
-            stage_candidates.push_back(std::move(candidate));
-          }
-        }
-      }
-      result.inference_seconds += SecondsSince(start);
-    }
-    if (stage_candidates.empty()) break;
-    result.counters["candidate_views"] += stage_candidates.size();
-
-    {
-      auto start = Clock::now();
-      // All candidates score concurrently: candidate i gets its own RNG
-      // stream split off one sequential draw, and the fragments are merged
-      // in candidate order, so the pool is byte-identical to a serial run.
-      const uint64_t scoring_seed = rng.Next();
-      std::vector<ScoredFragment> fragments =
-          exec::ParallelMap(pool, stage_candidates.size(), [&](size_t i) {
-            const View& view = stage_candidates[i].view;
-            for (const SourceState& state : states) {
-              if (state.sample->name() != view.base_table()) continue;
-              Rng task_rng = exec::TaskRng(scoring_seed, i);
-              return ScoreCandidate(state, view, options.placebo_correction,
-                                    task_rng);
-            }
-            return ScoredFragment{};  // no source table with that name
-          });
-      for (size_t i = 0; i < stage_candidates.size(); ++i) {
-        ScoredFragment& fragment = fragments[i];
-        const View& view = stage_candidates[i].view;
-        if (fragment.scored) {
-          result.pool.view_row_counts[ViewKey(view)] = fragment.view_rows;
-          result.counters["view_matches"] += fragment.view_matches.size();
-          for (Match& m : fragment.view_matches) {
-            result.pool.view_matches.push_back(std::move(m));
-          }
-        }
-        result.pool.candidate_views.push_back(view);
-      }
-      result.scoring_seconds += SecondsSince(start);
-    }
-
-    // Phase 3: selection over everything scored so far.
-    {
-      auto start = Clock::now();
-      selection = SelectContextualMatches(result.pool, options);
-      result.selection_seconds += SecondsSince(start);
-    }
-
-    if (stage + 1 >= max_stages) break;
-
-    // Next stage: the selected views become base "tables".
-    std::vector<StageBase> next_bases;
-    for (const View& view : selection.selected_views) {
-      for (size_t i = 0; i < states.size(); ++i) {
-        if (states[i].sample->name() == view.base_table()) {
-          next_bases.push_back(StageBase{i, view.condition()});
-        }
-      }
-    }
-    if (next_bases.empty()) break;
-    stage_bases = std::move(next_bases);
-  }
-
-  // If no stage produced candidates, still run selection for base matches.
-  if (selection.matches.empty() && selection.selected_views.empty()) {
-    auto start = Clock::now();
-    selection = SelectContextualMatches(result.pool, options);
-    result.selection_seconds += SecondsSince(start);
-  }
-
-  result.matches = std::move(selection.matches);
-  result.selected_views = std::move(selection.selected_views);
-  return result;
+  return MatchEngine(options).ConjunctiveMatch(source, target, max_stages);
 }
 
 }  // namespace csm

@@ -5,7 +5,6 @@
 #define CSM_CORE_CONTEXT_MATCH_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "core/select_matches.h"
 #include "core/view_inference.h"
 #include "match/match_types.h"
+#include "obs/metrics.h"
 #include "relational/table.h"
 #include "relational/view.h"
 
@@ -27,23 +27,21 @@ struct ContextMatchResult {
   /// Diagnostics: everything that was scored.
   ScoredPool pool;
 
-  /// Wall-clock seconds spent in each phase.
-  double standard_match_seconds = 0.0;
-  double inference_seconds = 0.0;
-  double scoring_seconds = 0.0;
-  double selection_seconds = 0.0;
-
   /// Worker threads the run used (ContextMatchOptions::threads after
   /// resolving 0 to the hardware concurrency).
   size_t threads_used = 1;
-  /// Work-volume counters (source_tables, base_matches, candidate_views,
-  /// view_matches) — independent of the thread count.
-  std::map<std::string, uint64_t> counters;
 
-  double TotalSeconds() const {
-    return standard_match_seconds + inference_seconds + scoring_seconds +
-           selection_seconds;
-  }
+  /// Observability snapshot of the run: per-phase wall-clock seconds
+  /// ("standard_match", "inference", "scoring", "selection"), work-volume
+  /// counters ("source_tables", "base_matches", "candidate_views",
+  /// "view_matches", plus "pool.*" / "engine.*" diagnostics), and latency
+  /// histogram summaries ("scoring.view_seconds", "inference.cell_seconds",
+  /// "standard.session_seconds", "pool.task_run_seconds", ...).  Counters
+  /// are independent of the thread count.
+  obs::PhaseReport phases;
+
+  /// Sum of the phase wall-clock totals (the pre-PhaseReport four-field sum).
+  double TotalSeconds() const { return phases.TotalSeconds(); }
 };
 
 /// Runs contextual schema matching of every source table against the target

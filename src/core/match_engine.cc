@@ -1,0 +1,478 @@
+#include "core/match_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "exec/parallel.h"
+#include "exec/task_rng.h"
+#include "match/matchers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace csm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-source-table state for one pipeline run: views into the engine's
+/// session cache.  Read-only once built, so it can be shared by concurrent
+/// scoring tasks.
+struct SourceState {
+  const Table* sample = nullptr;
+  const TableMatchSession* session = nullptr;
+  const MatchList* accepted = nullptr;  // standard matches from this table
+};
+
+/// Values of `attribute` at the given row indices of `sample`.
+std::vector<Value> BagAtRows(const Table& sample,
+                             const std::vector<size_t>& rows,
+                             std::string_view attribute) {
+  size_t col = sample.schema().AttributeIndex(attribute);
+  std::vector<Value> bag;
+  bag.reserve(rows.size());
+  for (size_t r : rows) bag.push_back(sample.row(r)[col]);
+  return bag;
+}
+
+/// Scores of one candidate view, produced on a worker and merged into the
+/// ScoredPool by the caller in candidate order.
+struct ScoredFragment {
+  /// False when no source state matched the candidate's base table (the
+  /// view is recorded as a candidate but nothing is scored).
+  bool scored = false;
+  size_t view_rows = 0;
+  MatchList view_matches;
+};
+
+/// Scores every accepted match of `state` against `candidate`.
+///
+/// With placebo correction (see ContextMatchOptions), each pair is also
+/// scored on a random row subset of the same cardinality as the view; the
+/// confidence shift a *random* shrinkage induces (placebo - base) is
+/// subtracted from the view's confidence, so only condition-specific
+/// effects remain.
+///
+/// Pure function of (state, candidate, rng): touches no shared mutable
+/// state, so candidates can be scored concurrently.
+ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
+                              bool placebo_correction, Rng& rng) {
+  ScoredFragment fragment;
+  fragment.scored = true;
+  // One restricted sample per source attribute, so each attribute's
+  // restriction — and its cached token profiles — is built once per view
+  // no matter how many target attributes it is scored against.
+  std::map<std::string, AttributeSample> samples;
+  std::map<std::string, AttributeSample> placebo_samples;
+
+  std::vector<size_t> view_rows;
+  std::vector<size_t> placebo_rows;
+  for (size_t r = 0; r < state.sample->num_rows(); ++r) {
+    if (candidate.condition().Evaluate(state.sample->schema(),
+                                       state.sample->row(r))) {
+      view_rows.push_back(r);
+    }
+  }
+  if (placebo_correction) {
+    placebo_rows.resize(state.sample->num_rows());
+    std::iota(placebo_rows.begin(), placebo_rows.end(), 0);
+    rng.Shuffle(placebo_rows);
+    placebo_rows.resize(view_rows.size());
+    std::sort(placebo_rows.begin(), placebo_rows.end());
+  }
+
+  fragment.view_rows = view_rows.size();
+
+  for (const Match& base : *state.accepted) {
+    const std::string& attr = base.source.attribute;
+    auto it = samples.find(attr);
+    if (it == samples.end()) {
+      it = samples
+               .emplace(attr, state.session->MakeRestrictedSample(
+                                  attr,
+                                  BagAtRows(*state.sample, view_rows, attr)))
+               .first;
+    }
+    MatchScore ms =
+        state.session->ScoreRestrictedSample(it->second, base.target);
+    double confidence = ms.confidence;
+
+    if (placebo_correction) {
+      auto pit = placebo_samples.find(attr);
+      if (pit == placebo_samples.end()) {
+        pit = placebo_samples
+                  .emplace(attr,
+                           state.session->MakeRestrictedSample(
+                               attr, BagAtRows(*state.sample, placebo_rows,
+                                               attr)))
+                  .first;
+      }
+      MatchScore placebo =
+          state.session->ScoreRestrictedSample(pit->second, base.target);
+      confidence = std::clamp(
+          confidence - (placebo.confidence - base.confidence), 0.0, 1.0);
+    }
+
+    Match conditional = base;
+    conditional.condition = candidate.condition();
+    conditional.score = ms.score;
+    conditional.confidence = confidence;
+    fragment.view_matches.push_back(std::move(conditional));
+  }
+  return fragment;
+}
+
+std::string ViewKey(const View& view) {
+  return view.base_table() + "\x1d" + view.condition().ToString();
+}
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  // FNV-1a style fold with a 64-bit avalanche, good enough for cache keys.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  h = HashMix(h, s.size());
+  for (char c : s) h = HashMix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+/// Content fingerprint of a database: name, schemas and every cell value.
+/// Two databases with the same fingerprint yield the same sessions, so the
+/// engine's cache is keyed on it rather than on object identity (callers
+/// often rebuild equal Database values between calls).
+uint64_t FingerprintDatabase(const Database& db) {
+  uint64_t h = HashString(0x811c9dc5u, db.name());
+  h = HashMix(h, db.tables().size());
+  for (const Table& table : db.tables()) {
+    h = HashString(h, table.name());
+    h = HashString(h, table.schema().ToString());
+    h = HashMix(h, table.num_rows());
+    for (const Row& row : table.rows()) {
+      for (const Value& value : row) h = HashMix(h, value.Hash());
+    }
+  }
+  return h;
+}
+
+/// Bounds the session cache; one entry can hold a full database's score
+/// matrices, so the cap is small and eviction is wholesale (the cache
+/// exists for repeat calls on the same few databases, not as an LRU).
+constexpr size_t kMaxCachedSessionSets = 8;
+
+/// Detaches the pool's observability sinks on scope exit, so a per-call
+/// registry never outlives its attachment even on an exceptional unwind.
+class PoolObsGuard {
+ public:
+  explicit PoolObsGuard(exec::ThreadPool* pool) : pool_(pool) {}
+  ~PoolObsGuard() {
+    if (pool_ != nullptr) pool_->SetObservability(nullptr, nullptr);
+  }
+  PoolObsGuard(const PoolObsGuard&) = delete;
+  PoolObsGuard& operator=(const PoolObsGuard&) = delete;
+
+ private:
+  exec::ThreadPool* pool_;
+};
+
+}  // namespace
+
+MatchEngine::MatchEngine(ContextMatchOptions options)
+    : options_(std::move(options)),
+      threads_(exec::EffectiveThreads(options_.threads)) {
+  // threads_ == 1 keeps the serial path (no pool; ParallelFor/Map run
+  // inline).  The work decomposition and RNG streams are the same either
+  // way, so results are bit-identical at any thread count.
+  if (threads_ > 1) pool_ = std::make_unique<exec::ThreadPool>(threads_);
+}
+
+MatchEngine::~MatchEngine() = default;
+
+ContextMatchResult MatchEngine::Match(const Database& source,
+                                      const Database& target) {
+  return RunPipeline(source, target, /*max_stages=*/1);
+}
+
+ContextMatchResult MatchEngine::ConjunctiveMatch(const Database& source,
+                                                 const Database& target,
+                                                 size_t max_stages) {
+  return RunPipeline(source, target, max_stages);
+}
+
+TargetContextMatchResult MatchEngine::TargetContextMatch(
+    const Database& source, const Database& target) {
+  TargetContextMatchResult result;
+  // Reverse the roles: conditions are inferred on `target`'s tables.
+  result.reversed = RunPipeline(target, source, /*max_stages=*/1);
+
+  // `csm::Match` the struct is qualified here: unqualified `Match` inside a
+  // member function names the MatchEngine::Match overload.
+  for (const csm::Match& reversed_match : result.reversed.matches) {
+    csm::Match flipped;
+    flipped.source = reversed_match.target;
+    flipped.target = reversed_match.source;
+    flipped.condition = reversed_match.condition;
+    flipped.condition_on_target = !reversed_match.condition.is_true();
+    flipped.score = reversed_match.score;
+    flipped.confidence = reversed_match.confidence;
+    result.matches.push_back(std::move(flipped));
+  }
+  result.selected_target_views = result.reversed.selected_views;
+  return result;
+}
+
+MatchEngine::SessionCacheEntry& MatchEngine::LookupSessions(
+    const Database& source, const Database& target,
+    obs::MetricsRegistry* registry, uint64_t parent_span) {
+  const auto key = std::make_pair(FingerprintDatabase(source),
+                                  FingerprintDatabase(target));
+  auto it = session_cache_.find(key);
+  if (it != session_cache_.end()) {
+    ++cache_hits_;
+    registry->AddCounter("engine.session_cache_hits");
+    return it->second;
+  }
+  ++cache_misses_;
+  registry->AddCounter("engine.session_cache_misses");
+  if (session_cache_.size() >= kMaxCachedSessionSets) session_cache_.clear();
+
+  // Build per-table sessions, all tables concurrently.  Session
+  // construction and AcceptedMatches draw no random numbers, and results
+  // land in table order, so warm-cache runs are bit-identical to cold ones.
+  obs::Tracer* tracer = tracer_;
+  SessionCacheEntry entry;
+  const auto& tables = source.tables();
+  struct Built {
+    std::unique_ptr<TableMatchSession> session;
+    MatchList accepted;
+  };
+  std::vector<Built> built =
+      exec::ParallelMap(pool_.get(), tables.size(), [&](size_t i) {
+        std::string span_name;
+        if (tracer != nullptr) span_name = "session:" + tables[i].name();
+        obs::ScopedSpan span(tracer, span_name, parent_span);
+        const auto start = Clock::now();
+        Built b;
+        b.session = std::make_unique<TableMatchSession>(
+            tables[i], target, DefaultMatcherSuite(), options_.match);
+        b.accepted = b.session->AcceptedMatches(options_.tau);
+        registry->Observe("standard.session_seconds", SecondsSince(start));
+        return b;
+      });
+  entry.sessions.reserve(built.size());
+  entry.accepted.reserve(built.size());
+  for (Built& b : built) {
+    entry.sessions.push_back(std::move(b.session));
+    entry.accepted.push_back(std::move(b.accepted));
+  }
+  return session_cache_.emplace(key, std::move(entry)).first->second;
+}
+
+ContextMatchResult MatchEngine::RunPipeline(const Database& source,
+                                            const Database& target,
+                                            size_t max_stages) {
+  CSM_CHECK_GE(max_stages, 1u);
+  ContextMatchResult result;
+  result.threads_used = threads_;
+
+  // Per-call registry: phase seconds, work counters and latency histograms
+  // all aggregate here; a snapshot becomes result.phases and the contents
+  // fold into the engine's long-lived sink (if any) at the end.
+  obs::MetricsRegistry registry;
+  obs::Tracer* tracer = tracer_;
+  exec::ThreadPool* pool = pool_.get();
+  PoolObsGuard pool_obs_guard(pool);
+  if (pool != nullptr) pool->SetObservability(&registry, tracer);
+
+  Rng rng(options_.seed);
+  std::unique_ptr<ViewInference> inference =
+      MakeViewInference(options_.inference, options_);
+
+  {
+    obs::ScopedSpan root(tracer, "ContextMatch");
+
+    // Phase 1: standard match per source table (cached across calls).
+    std::vector<SourceState> states;
+    {
+      obs::ScopedSpan phase(tracer, "standard_match");
+      auto start = Clock::now();
+      SessionCacheEntry& sessions =
+          LookupSessions(source, target, &registry, phase.id());
+      const auto& tables = source.tables();
+      states.resize(tables.size());
+      for (size_t i = 0; i < tables.size(); ++i) {
+        states[i].sample = &tables[i];
+        states[i].session = sessions.sessions[i].get();
+        states[i].accepted = &sessions.accepted[i];
+      }
+      for (const SourceState& state : states) {
+        for (const csm::Match& m : *state.accepted) {
+          result.pool.base_matches.push_back(m);
+        }
+        registry.AddCounter("base_matches", state.accepted->size());
+      }
+      registry.AddCounter("source_tables", states.size());
+      registry.AddSeconds("standard_match", SecondsSince(start));
+    }
+
+    // Phase 2 (per stage): infer candidate views, then score the
+    // conditional version of every accepted match.
+    std::set<std::string> scored_keys;  // views already scored (any stage)
+    // Stage 1 bases: the source tables themselves (condition "true").
+    struct StageBase {
+      size_t state_index;
+      Condition condition;  // accumulated condition (true at stage 1)
+    };
+    std::vector<StageBase> stage_bases;
+    for (size_t i = 0; i < states.size(); ++i) {
+      stage_bases.push_back(StageBase{i, Condition::True()});
+    }
+
+    SelectionResult selection;
+    for (size_t stage = 0; stage < max_stages; ++stage) {
+      obs::ScopedSpan stage_span(tracer, "stage:" + std::to_string(stage));
+      std::vector<CandidateView> stage_candidates;
+      {
+        obs::ScopedSpan phase(tracer, "inference");
+        auto start = Clock::now();
+        for (const StageBase& base : stage_bases) {
+          const SourceState& state = states[base.state_index];
+          if (state.accepted->empty()) continue;
+
+          // The inference input table: the base table at stage 1, the
+          // materialized view afterwards.
+          Table materialized;
+          const Table* infer_table = state.sample;
+          if (!base.condition.is_true()) {
+            View stage_view("stage", state.sample->name(), base.condition);
+            materialized = stage_view.Materialize(*state.sample);
+            materialized = materialized.Renamed(state.sample->name());
+            infer_table = &materialized;
+          }
+
+          InferenceInput input;
+          input.source_sample = infer_table;
+          input.target_sample = &target;
+          input.matches = state.accepted;
+          input.early_disjuncts = options_.early_disjuncts;
+          input.excluded_partition_attributes =
+              base.condition.MentionedAttributes();
+          input.pool = pool;  // classifier grid trains concurrently
+          input.obs.tracer = tracer;
+          input.obs.metrics = &registry;
+          input.obs.parent_span = phase.id();
+
+          for (CandidateView& candidate :
+               inference->InferCandidateViews(input, rng)) {
+            // Conjoin with the stage's accumulated condition.
+            if (!base.condition.is_true()) {
+              View conjoined(
+                  candidate.view.name(), candidate.view.base_table(),
+                  base.condition.Conjoin(candidate.view.condition()));
+              candidate.view = conjoined;
+            }
+            if (scored_keys.insert(ViewKey(candidate.view)).second) {
+              stage_candidates.push_back(std::move(candidate));
+            }
+          }
+        }
+        registry.AddSeconds("inference", SecondsSince(start));
+      }
+      if (stage_candidates.empty()) break;
+      registry.AddCounter("candidate_views", stage_candidates.size());
+
+      {
+        obs::ScopedSpan phase(tracer, "scoring");
+        auto start = Clock::now();
+        // All candidates score concurrently: candidate i gets its own RNG
+        // stream split off one sequential draw, and the fragments are
+        // merged in candidate order, so the pool is byte-identical to a
+        // serial run.
+        const uint64_t scoring_seed = rng.Next();
+        std::vector<ScoredFragment> fragments =
+            exec::ParallelMap(pool, stage_candidates.size(), [&](size_t i) {
+              const View& view = stage_candidates[i].view;
+              std::string span_name;
+              if (tracer != nullptr) span_name = "score:" + view.name();
+              // Implicit parent: the worker's pool-task span (itself under
+              // this scoring phase), or the phase span on the inline path.
+              obs::ScopedSpan span(tracer, span_name);
+              const auto view_start = Clock::now();
+              ScoredFragment fragment;
+              for (const SourceState& state : states) {
+                if (state.sample->name() != view.base_table()) continue;
+                Rng task_rng = exec::TaskRng(scoring_seed, i);
+                fragment = ScoreCandidate(state, view,
+                                          options_.placebo_correction,
+                                          task_rng);
+                break;
+              }
+              registry.Observe("scoring.view_seconds",
+                               SecondsSince(view_start));
+              return fragment;
+            });
+        for (size_t i = 0; i < stage_candidates.size(); ++i) {
+          ScoredFragment& fragment = fragments[i];
+          const View& view = stage_candidates[i].view;
+          if (fragment.scored) {
+            result.pool.view_row_counts[ViewKey(view)] = fragment.view_rows;
+            registry.AddCounter("view_matches", fragment.view_matches.size());
+            for (csm::Match& m : fragment.view_matches) {
+              result.pool.view_matches.push_back(std::move(m));
+            }
+          }
+          result.pool.candidate_views.push_back(view);
+        }
+        registry.AddSeconds("scoring", SecondsSince(start));
+      }
+
+      // Phase 3: selection over everything scored so far.
+      {
+        obs::ScopedSpan phase(tracer, "selection");
+        auto start = Clock::now();
+        selection = SelectContextualMatches(result.pool, options_);
+        registry.AddSeconds("selection", SecondsSince(start));
+      }
+
+      if (stage + 1 >= max_stages) break;
+
+      // Next stage: the selected views become base "tables".
+      std::vector<StageBase> next_bases;
+      for (const View& view : selection.selected_views) {
+        for (size_t i = 0; i < states.size(); ++i) {
+          if (states[i].sample->name() == view.base_table()) {
+            next_bases.push_back(StageBase{i, view.condition()});
+          }
+        }
+      }
+      if (next_bases.empty()) break;
+      stage_bases = std::move(next_bases);
+    }
+
+    // If no stage produced candidates, still run selection for base matches.
+    if (selection.matches.empty() && selection.selected_views.empty()) {
+      obs::ScopedSpan phase(tracer, "selection");
+      auto start = Clock::now();
+      selection = SelectContextualMatches(result.pool, options_);
+      registry.AddSeconds("selection", SecondsSince(start));
+    }
+
+    result.matches = std::move(selection.matches);
+    result.selected_views = std::move(selection.selected_views);
+  }  // root span closes here, before the snapshot
+
+  if (pool != nullptr) pool->SetObservability(nullptr, nullptr);
+  result.phases = registry.Snapshot();
+  if (metrics_ != nullptr) metrics_->MergeFrom(registry);
+  return result;
+}
+
+}  // namespace csm

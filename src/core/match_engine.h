@@ -1,0 +1,118 @@
+// MatchEngine: the long-lived entry point to contextual schema matching.
+//
+// The free functions ContextMatch / ConjunctiveContextMatch /
+// TargetContextMatch build everything per call: a thread pool, one
+// TableMatchSession per source table, the attribute score distributions
+// inside each session.  MatchEngine hoists that state into an object so a
+// caller that matches repeatedly — parameter sweeps, benchmark trials, a
+// service matching many sources against one warehouse schema — pays for it
+// once:
+//
+//   csm::MatchEngine engine(options);
+//   engine.set_tracer(&tracer);            // optional observability sinks
+//   auto r1 = engine.Match(src, tgt);      // builds sessions
+//   auto r2 = engine.Match(src, tgt);      // reuses them (cache hit)
+//
+// What the engine owns:
+//   * the worker pool (options.threads resolved once at construction),
+//   * optional Tracer / MetricsRegistry sinks applied to every call,
+//   * a session cache keyed by (source, target) content fingerprints:
+//     standard-match sessions and their accepted matches are reused across
+//     calls on the same data.  Sessions draw no random numbers, so reuse is
+//     invisible to the RNG streams — results are bit-identical with a cold
+//     or warm cache (determinism_test enforces this).
+//
+// The engine is not internally synchronized: run one Match call at a time
+// per engine (the call itself parallelizes internally).  The free functions
+// remain as one-line wrappers over a throwaway engine.
+
+#ifndef CSM_CORE_MATCH_ENGINE_H_
+#define CSM_CORE_MATCH_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/context_match.h"
+#include "core/target_context.h"
+#include "exec/thread_pool.h"
+#include "match/session.h"
+#include "obs/hooks.h"
+
+namespace csm {
+
+class MatchEngine {
+ public:
+  explicit MatchEngine(ContextMatchOptions options);
+  ~MatchEngine();
+
+  MatchEngine(const MatchEngine&) = delete;
+  MatchEngine& operator=(const MatchEngine&) = delete;
+
+  /// Algorithm ContextMatch (Fig. 5) over every source table.
+  ContextMatchResult Match(const Database& source, const Database& target);
+
+  /// Section 3.5 conjunctive staging; max_stages == 1 is plain Match.
+  ContextMatchResult ConjunctiveMatch(const Database& source,
+                                      const Database& target,
+                                      size_t max_stages);
+
+  /// Reverse-role run with conditions on target tables (core/target_context.h).
+  TargetContextMatchResult TargetContextMatch(const Database& source,
+                                              const Database& target);
+
+  /// Optional sinks, applied to every subsequent call.  Null detaches.
+  /// The tracer receives the span hierarchy (phases, stages, grid cells,
+  /// per-view scoring, pool tasks); the registry accumulates every call's
+  /// PhaseReport (a per-call snapshot is always returned on the result).
+  /// Sinks must outlive the engine or be detached first.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  const ContextMatchOptions& options() const { return options_; }
+  /// Resolved worker count (options.threads with 0 = hardware concurrency).
+  size_t threads() const { return threads_; }
+
+  /// Session-cache introspection (counts also surface as the
+  /// "engine.session_cache_hits"/"engine.session_cache_misses" counters).
+  uint64_t session_cache_hits() const { return cache_hits_; }
+  uint64_t session_cache_misses() const { return cache_misses_; }
+  void ClearSessionCache() { session_cache_.clear(); }
+
+ private:
+  /// Cached phase-1 output for one (source, target) pair: the per-table
+  /// match sessions and their tau-accepted standard matches, in source
+  /// table order.
+  struct SessionCacheEntry {
+    std::vector<std::unique_ptr<TableMatchSession>> sessions;
+    std::vector<MatchList> accepted;
+  };
+
+  /// Returns the cache entry for (source, target), building the sessions
+  /// (in parallel, one task per table) on a miss.  The reference stays
+  /// valid for the remainder of the current call.
+  SessionCacheEntry& LookupSessions(const Database& source,
+                                    const Database& target,
+                                    obs::MetricsRegistry* registry,
+                                    uint64_t parent_span);
+
+  /// The full staged pipeline behind Match / ConjunctiveMatch.
+  ContextMatchResult RunPipeline(const Database& source,
+                                 const Database& target, size_t max_stages);
+
+  ContextMatchOptions options_;
+  size_t threads_ = 1;
+  std::unique_ptr<exec::ThreadPool> pool_;  // null when threads_ == 1
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+  std::map<std::pair<uint64_t, uint64_t>, SessionCacheEntry> session_cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_CORE_MATCH_ENGINE_H_

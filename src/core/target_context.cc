@@ -1,26 +1,13 @@
 #include "core/target_context.h"
 
+#include "core/match_engine.h"
+
 namespace csm {
 
 TargetContextMatchResult TargetContextMatch(
     const Database& source, const Database& target,
     const ContextMatchOptions& options) {
-  TargetContextMatchResult result;
-  // Reverse the roles: conditions are inferred on `target`'s tables.
-  result.reversed = ContextMatch(target, source, options);
-
-  for (const Match& reversed_match : result.reversed.matches) {
-    Match flipped;
-    flipped.source = reversed_match.target;
-    flipped.target = reversed_match.source;
-    flipped.condition = reversed_match.condition;
-    flipped.condition_on_target = !reversed_match.condition.is_true();
-    flipped.score = reversed_match.score;
-    flipped.confidence = reversed_match.confidence;
-    result.matches.push_back(std::move(flipped));
-  }
-  result.selected_target_views = result.reversed.selected_views;
-  return result;
+  return MatchEngine(options).TargetContextMatch(source, target);
 }
 
 }  // namespace csm

@@ -121,7 +121,8 @@ std::vector<CandidateView> TgtClassInfer::InferCandidateViews(
   };
   std::vector<ViewFamily> families = ClusteredViewGen(
       *input.source_sample, factory, clustered_, categorical_,
-      input.early_disjuncts, rng, std::move(labels), {}, input.pool);
+      input.early_disjuncts, rng, std::move(labels), {}, input.pool,
+      input.obs);
   return CandidatesFromFamilies(families);
 }
 

@@ -13,6 +13,7 @@
 #include "core/context_options.h"
 #include "exec/thread_pool.h"
 #include "match/match_types.h"
+#include "obs/hooks.h"
 #include "relational/table.h"
 #include "relational/view.h"
 
@@ -37,6 +38,10 @@ struct InferenceInput {
   /// exact serial path.  Results are identical either way (see
   /// ClusteredViewGen).
   exec::ThreadPool* pool = nullptr;
+  /// Optional tracing/metrics sinks (spans and an "inference.cell_seconds"
+  /// histogram per classifier-grid cell).  Default hooks are all-null and
+  /// record nothing; observation never feeds back into the results.
+  obs::ObsHooks obs;
 };
 
 /// One proposed candidate view plus the evidence that produced it.

@@ -5,45 +5,13 @@
 namespace csm {
 namespace exec {
 
-void PhaseStats::AddSeconds(const std::string& phase, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  seconds_[phase] += seconds;
-}
-
-void PhaseStats::AddCount(const std::string& counter, uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  counts_[counter] += n;
-}
-
-double PhaseStats::Seconds(const std::string& phase) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = seconds_.find(phase);
-  return it == seconds_.end() ? 0.0 : it->second;
-}
-
-uint64_t PhaseStats::Count(const std::string& counter) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = counts_.find(counter);
-  return it == counts_.end() ? 0 : it->second;
-}
-
-std::map<std::string, double> PhaseStats::SecondsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return seconds_;
-}
-
-std::map<std::string, uint64_t> PhaseStats::CountsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counts_;
-}
-
 std::string PhaseStats::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const obs::PhaseReport report = registry_->Snapshot();
   std::string out;
-  for (const auto& [phase, seconds] : seconds_) {
+  for (const auto& [phase, seconds] : report.seconds) {
     out += StrFormat("%s: %.3fs\n", phase.c_str(), seconds);
   }
-  for (const auto& [counter, count] : counts_) {
+  for (const auto& [counter, count] : report.counters) {
     out += StrFormat("%s: %llu\n", counter.c_str(),
                      static_cast<unsigned long long>(count));
   }

@@ -1,6 +1,9 @@
 // Thread-safe per-phase timing and counter aggregation for the parallel
-// pipeline: workers report into a shared PhaseStats, and the driver exports
-// a plain-map snapshot into its result struct.
+// pipeline.  Since the obs/ layer landed, PhaseStats is a thin view over an
+// obs::MetricsRegistry rather than a parallel bookkeeping system: the
+// legacy AddSeconds/AddCount surface forwards to the registry's seconds /
+// counter sections, so code written against PhaseStats and code written
+// against the registry aggregate into the same place.
 
 #ifndef CSM_EXEC_PHASE_STATS_H_
 #define CSM_EXEC_PHASE_STATS_H_
@@ -8,8 +11,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace csm {
 namespace exec {
@@ -18,23 +23,44 @@ namespace exec {
 /// safe to call concurrently.
 class PhaseStats {
  public:
-  void AddSeconds(const std::string& phase, double seconds);
-  void AddCount(const std::string& counter, uint64_t n = 1);
+  /// Standalone stats (owns a private registry).
+  PhaseStats() : owned_(std::make_unique<obs::MetricsRegistry>()),
+                 registry_(owned_.get()) {}
 
-  double Seconds(const std::string& phase) const;
-  uint64_t Count(const std::string& counter) const;
+  /// A view over an external registry (not owned; must outlive this view).
+  explicit PhaseStats(obs::MetricsRegistry* registry) : registry_(registry) {}
+
+  void AddSeconds(const std::string& phase, double seconds) {
+    registry_->AddSeconds(phase, seconds);
+  }
+  void AddCount(const std::string& counter, uint64_t n = 1) {
+    registry_->AddCounter(counter, n);
+  }
+
+  double Seconds(const std::string& phase) const {
+    return registry_->Seconds(phase);
+  }
+  uint64_t Count(const std::string& counter) const {
+    return registry_->Counter(counter);
+  }
 
   /// Plain-value snapshots for embedding into result structs.
-  std::map<std::string, double> SecondsSnapshot() const;
-  std::map<std::string, uint64_t> CountsSnapshot() const;
+  std::map<std::string, double> SecondsSnapshot() const {
+    return registry_->Snapshot().seconds;
+  }
+  std::map<std::string, uint64_t> CountsSnapshot() const {
+    return registry_->Snapshot().counters;
+  }
+
+  /// The registry this view reports into.
+  obs::MetricsRegistry* registry() const { return registry_; }
 
   /// "phase: 1.234s" / "counter: 42" lines, sorted by name.
   std::string ToString() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, double> seconds_;
-  std::map<std::string, uint64_t> counts_;
+  std::unique_ptr<obs::MetricsRegistry> owned_;
+  obs::MetricsRegistry* registry_;
 };
 
 /// RAII timer adding its elapsed wall-clock to `stats[phase]`.

@@ -1,6 +1,10 @@
 #include "exec/thread_pool.h"
 
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace csm {
 namespace exec {
@@ -9,13 +13,19 @@ namespace {
 /// Set for the lifetime of a worker's loop; read by InWorker().
 thread_local bool tls_in_worker = false;
 
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -28,26 +38,81 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::SetObservability(obs::MetricsRegistry* metrics,
+                                  obs::Tracer* tracer) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Quiesce: wait out workers still reporting into the old sinks.
+  obs_quiesced_cv_.wait(lock, [this] { return obs_users_ == 0; });
+  metrics_ = metrics;
+  tracer_ = tracer;
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("pool.threads", static_cast<double>(workers_.size()));
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  QueuedTask queued;
+  queued.fn = std::move(task);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    if (metrics_ != nullptr) {
+      queued.enqueued = Clock::now();
+    }
+    if (tracer_ != nullptr) {
+      queued.parent_span = obs::Tracer::CurrentSpan();
+    }
+    queue_.push_back(std::move(queued));
+    if (metrics_ != nullptr) {
+      metrics_->SetGauge("pool.queue_depth",
+                         static_cast<double>(queue_.size()));
+      metrics_->AddCounter("pool.tasks_submitted");
+    }
   }
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_in_worker = true;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      metrics = metrics_;
+      tracer = tracer_;
+      if (metrics != nullptr || tracer != nullptr) ++obs_users_;
+      if (metrics != nullptr) {
+        metrics->SetGauge("pool.queue_depth",
+                          static_cast<double>(queue_.size()));
+      }
     }
-    task();
+    const Clock::time_point run_start = Clock::now();
+    if (metrics != nullptr &&
+        task.enqueued != Clock::time_point()) {
+      metrics->Observe("pool.task_wait_seconds",
+                       SecondsBetween(task.enqueued, run_start));
+    }
+    {
+      obs::ScopedSpan span(tracer, "pool_task", task.parent_span);
+      task.fn();
+    }
+    if (metrics != nullptr) {
+      const double run_seconds = SecondsBetween(run_start, Clock::now());
+      metrics->Observe("pool.task_run_seconds", run_seconds);
+      metrics->AddGauge(
+          "pool.worker." + std::to_string(worker_index) + ".busy_seconds",
+          run_seconds);
+      metrics->AddCounter("pool.tasks_run");
+    }
+    if (metrics != nullptr || tracer != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--obs_users_ == 0) obs_quiesced_cv_.notify_all();
+    }
   }
 }
 

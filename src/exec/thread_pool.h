@@ -12,17 +12,25 @@
 //   3. Nested-submit safety — a worker thread that itself calls ParallelFor
 //      runs the loop inline instead of submitting (a blocking wait inside a
 //      worker would deadlock once all workers wait on each other).
+//   4. Observable — optional sinks (SetObservability) record task wait/run
+//      latency histograms, a queue-depth gauge, per-worker busy seconds and
+//      one span per executed task.  With no sinks attached the only cost is
+//      a null check per task.
 
 #ifndef CSM_EXEC_THREAD_POOL_H_
 #define CSM_EXEC_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/hooks.h"
 
 namespace csm {
 namespace exec {
@@ -41,9 +49,22 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
+  /// Attaches (or with nulls, detaches) metrics/tracing sinks.  Blocks
+  /// until no worker is still reporting into the previously attached sinks
+  /// (a worker's span close and run-latency update happen *after* the task
+  /// body — and ParallelFor's completion signal fires inside the body — so
+  /// without the quiesce a caller could destroy a per-call registry while a
+  /// straggler still writes to it).  After SetObservability returns, the
+  /// old sinks are safe to destroy.  Metric names are documented in
+  /// DESIGN.md "Observability".  Safe to call between (not during) bursts
+  /// of Submit().
+  void SetObservability(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
   /// Enqueues a task.  Tasks must not throw (wrap with an exception_ptr
   /// capture — ParallelFor does).  Safe to call from any thread, including
-  /// workers of this or another pool.
+  /// workers of this or another pool.  When a tracer is attached, the
+  /// executed task gets a "pool_task" span parented under the submitting
+  /// thread's current span.
   void Submit(std::function<void()> task);
 
   /// True when the calling thread is a worker of *any* ThreadPool.  Used as
@@ -55,12 +76,27 @@ class ThreadPool {
   static size_t HardwareThreads();
 
  private:
-  void WorkerLoop();
+  struct QueuedTask {
+    std::function<void()> fn;
+    /// Set only when metrics are attached (wait-latency measurement).
+    std::chrono::steady_clock::time_point enqueued;
+    /// Submitting thread's current span (0 when no tracer attached).
+    uint64_t parent_span = 0;
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;  // guarded by mu_
+  obs::Tracer* tracer_ = nullptr;            // guarded by mu_
+  /// Workers currently holding a sampled copy of the sinks (from task pop
+  /// until their post-task reporting is done); SetObservability waits for
+  /// this to reach zero before swapping.  Guarded by mu_.
+  size_t obs_users_ = 0;
+  std::condition_variable obs_quiesced_cv_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,32 @@
+// Forward-declaration-only observability hooks, for headers that want to
+// accept optional tracing/metrics sinks without pulling in the full obs
+// headers (e.g. core/view_inference.h threads these through to the
+// classifier grid).
+
+#ifndef CSM_OBS_HOOKS_H_
+#define CSM_OBS_HOOKS_H_
+
+#include <cstdint>
+
+namespace csm {
+namespace obs {
+
+class Tracer;
+class MetricsRegistry;
+
+/// Optional observability sinks handed down through a pipeline layer.
+/// Null members mean "off"; every consumer must tolerate nulls, so a
+/// default-constructed ObsHooks is the zero-overhead path.
+struct ObsHooks {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  /// Span id the callee's spans should be parented under (0 = root).
+  /// Explicit because callee work may run on pool workers, where the
+  /// calling thread's implicit current-span is not visible.
+  uint64_t parent_span = 0;
+};
+
+}  // namespace obs
+}  // namespace csm
+
+#endif  // CSM_OBS_HOOKS_H_

@@ -1,0 +1,187 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace csm {
+namespace obs {
+namespace {
+
+/// Innermost open span of the calling thread (across all tracers; spans of
+/// distinct tracers must not interleave on one thread).
+thread_local uint64_t tls_current_span = 0;
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      thread_indices_.emplace(std::this_thread::get_id(), thread_indices_.size());
+  record.thread_index = it->second;
+  spans_.push_back(std::move(record));
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+double Tracer::RootSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const SpanRecord& span : spans_) {
+    if (span.parent == 0) total += span.duration_seconds;
+  }
+  return total;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_seconds < b.start_seconds;
+            });
+  std::string out = "{\"traceEvents\": [\n";
+  char buf[160];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                  "\"tid\": %zu, \"args\": {\"span_id\": %llu, "
+                  "\"parent_id\": %llu}}%s",
+                  s.start_seconds * 1e6, s.duration_seconds * 1e6,
+                  s.thread_index, static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent),
+                  i + 1 < spans.size() ? "," : "");
+    out += "{\"name\": \"" + JsonEscape(s.name) + "\", \"cat\": \"csm\", ";
+    out += buf;
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string Tracer::ToTextTree() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_seconds != b.start_seconds) {
+                return a.start_seconds < b.start_seconds;
+              }
+              return a.id < b.id;
+            });
+  // children[parent id] -> indices into `spans`, already in start order.
+  std::map<uint64_t, std::vector<size_t>> children;
+  std::map<uint64_t, bool> known;
+  for (const SpanRecord& span : spans) known[span.id] = true;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    // Spans whose parent was never recorded (e.g. still open at export)
+    // print as roots rather than vanishing.
+    const uint64_t parent = known.count(spans[i].parent) ? spans[i].parent : 0;
+    children[parent].push_back(i);
+  }
+
+  std::string out;
+  char buf[64];
+  // Iterative DFS from the root list, preserving start order.
+  struct Frame {
+    size_t index;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  const auto& roots = children[0];
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back(Frame{*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const SpanRecord& span = spans[frame.index];
+    std::snprintf(buf, sizeof(buf), "%10.6fs  [tid %zu]  ",
+                  span.duration_seconds, span.thread_index);
+    out += buf;
+    out.append(2 * frame.depth, ' ');
+    out += span.name;
+    out += "\n";
+    auto it = children.find(span.id);
+    if (it != children.end()) {
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        stack.push_back(Frame{*rit, frame.depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const std::string json = ToChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
+  return std::fclose(out) == 0 && ok;
+}
+
+uint64_t Tracer::CurrentSpan() { return tls_current_span; }
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name, uint64_t parent)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  name_ = std::string(name);
+  id_ = tracer_->NextId();
+  parent_ = parent;
+  saved_current_ = tls_current_span;
+  tls_current_span = id_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  tls_current_span = saved_current_;
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = std::move(name_);
+  record.start_seconds =
+      std::chrono::duration<double>(start_ - tracer_->epoch()).count();
+  record.duration_seconds = std::chrono::duration<double>(end - start_).count();
+  tracer_->Record(std::move(record));
+}
+
+}  // namespace obs
+}  // namespace csm

@@ -489,7 +489,7 @@ TEST(ContextMatchTest, PhaseTimersPopulated) {
   o.seed = 34;
   o.omega = 0.1;
   ContextMatchResult r = ContextMatch(data.source, data.target, o);
-  EXPECT_GT(r.standard_match_seconds, 0.0);
+  EXPECT_GT(r.phases.Seconds("standard_match"), 0.0);
   EXPECT_GT(r.TotalSeconds(), 0.0);
 }
 

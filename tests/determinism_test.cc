@@ -9,9 +9,10 @@
 
 #include <gtest/gtest.h>
 
-#include "core/context_match.h"
+#include "core/match_engine.h"
 #include "datagen/grades_gen.h"
 #include "datagen/retail_gen.h"
+#include "obs/trace.h"
 
 namespace csm {
 namespace {
@@ -107,7 +108,114 @@ TEST(ThreadDeterminismTest, ReportsThreadsUsed) {
   o.threads = 3;
   ContextMatchResult r = ContextMatch(data.source, data.target, o);
   EXPECT_EQ(r.threads_used, 3u);
-  EXPECT_EQ(r.counters.at("source_tables"), data.source.tables().size());
+  EXPECT_EQ(r.phases.counters.at("source_tables"),
+            data.source.tables().size());
+}
+
+// ---------------------------------------------------------------------------
+// MatchEngine equivalence: the engine API (pooled threads, cached sessions,
+// optional tracing) must be bit-identical to the free functions, because it
+// only changes where state lives — never the work decomposition or the RNG
+// streams.
+
+std::string EngineRunRetail(uint64_t data_seed, uint64_t match_seed,
+                            size_t threads, size_t repeats,
+                            bool traced = false) {
+  RetailOptions d;
+  d.num_items = 200;
+  d.gamma = 2;
+  d.seed = data_seed;
+  RetailDataset data = MakeRetailDataset(d);
+  ContextMatchOptions o;
+  o.inference = ViewInferenceKind::kSrcClass;
+  o.early_disjuncts = true;
+  o.omega = 0.05;
+  o.seed = match_seed;
+  o.threads = threads;
+  MatchEngine engine(o);
+  obs::Tracer tracer;
+  if (traced) engine.set_tracer(&tracer);
+  std::string fingerprint;
+  for (size_t i = 0; i < repeats; ++i) {
+    // Repeat > 1 exercises the warm session cache.
+    fingerprint = Fingerprint(engine.Match(data.source, data.target));
+  }
+  if (repeats > 1) {
+    EXPECT_GE(engine.session_cache_hits(), repeats - 1);
+    EXPECT_EQ(engine.session_cache_misses(), 1u);
+  }
+  return fingerprint;
+}
+
+TEST(MatchEngineTest, MatchesFreeFunctionBitIdentically) {
+  for (uint64_t seed : {1u, 7u}) {
+    const std::string free_fn = RunRetail(seed, seed + 1, /*threads=*/1);
+    EXPECT_EQ(free_fn, EngineRunRetail(seed, seed + 1, /*threads=*/1,
+                                       /*repeats=*/1));
+    EXPECT_EQ(free_fn, EngineRunRetail(seed, seed + 1, /*threads=*/4,
+                                       /*repeats=*/1));
+  }
+}
+
+TEST(MatchEngineTest, SessionCacheReuseIsInvisible) {
+  const std::string cold = RunRetail(3, 4, /*threads=*/1);
+  EXPECT_EQ(cold, EngineRunRetail(3, 4, /*threads=*/1, /*repeats=*/3));
+  EXPECT_EQ(cold, EngineRunRetail(3, 4, /*threads=*/4, /*repeats=*/3));
+}
+
+TEST(MatchEngineTest, TracingDoesNotChangeResults) {
+  const std::string untraced =
+      EngineRunRetail(5, 6, /*threads=*/4, /*repeats=*/1, /*traced=*/false);
+  const std::string traced =
+      EngineRunRetail(5, 6, /*threads=*/4, /*repeats=*/1, /*traced=*/true);
+  EXPECT_EQ(untraced, traced);
+}
+
+TEST(MatchEngineTest, GradesEngineMatchesFreeFunction) {
+  GradesOptions d;
+  d.num_students = 120;
+  d.seed = 3;
+  GradesDataset data = MakeGradesDataset(d);
+  ContextMatchOptions o;
+  o.tau = 0.45;
+  o.omega = 0.025;
+  o.early_disjuncts = false;
+  o.seed = 4;
+  o.threads = 2;
+  const std::string free_fn =
+      Fingerprint(ContextMatch(data.source, data.target, o));
+  MatchEngine engine(o);
+  EXPECT_EQ(free_fn, Fingerprint(engine.Match(data.source, data.target)));
+  EXPECT_EQ(free_fn, Fingerprint(engine.Match(data.source, data.target)));
+  EXPECT_EQ(engine.session_cache_hits(), 1u);
+}
+
+TEST(MatchEngineTest, ConjunctiveAndTargetWrappersAgree) {
+  RetailOptions d;
+  d.num_items = 120;
+  d.gamma = 2;
+  d.seed = 11;
+  RetailDataset data = MakeRetailDataset(d);
+  ContextMatchOptions o;
+  o.omega = 0.05;
+  o.seed = 12;
+  o.threads = 2;
+
+  MatchEngine engine(o);
+  EXPECT_EQ(
+      Fingerprint(ConjunctiveContextMatch(data.source, data.target, o, 2)),
+      Fingerprint(engine.ConjunctiveMatch(data.source, data.target, 2)));
+
+  TargetContextMatchResult free_fn =
+      TargetContextMatch(data.source, data.target, o);
+  TargetContextMatchResult via_engine =
+      engine.TargetContextMatch(data.source, data.target);
+  EXPECT_EQ(Fingerprint(free_fn.reversed),
+            Fingerprint(via_engine.reversed));
+  ASSERT_EQ(free_fn.matches.size(), via_engine.matches.size());
+  for (size_t i = 0; i < free_fn.matches.size(); ++i) {
+    EXPECT_EQ(free_fn.matches[i].ToString(), via_engine.matches[i].ToString());
+  }
 }
 
 }  // namespace
