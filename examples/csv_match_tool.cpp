@@ -15,11 +15,18 @@
 //   --seed=N         RNG seed                             (default 1)
 //   --threads=N      worker threads; 0 = all cores        (default 1)
 //                    (results are identical for every N)
+//   --deadline-ms=N  wall-clock budget per match run; on expiry the run
+//                    degrades (baseline + views scored so far) and the
+//                    tool exits with code 3 after printing what it has
 //   --trace-out=F    write a Chrome trace of the run to F
 //                    (open in chrome://tracing or https://ui.perfetto.dev)
 //   --metrics-out=F  write the run's metrics (phase seconds, counters,
 //                    latency histograms) as JSON to F; "-" prints a
 //                    readable summary to stdout
+//
+// Exit codes: 0 success, 1 internal/io failure, 2 bad input (unusable
+// flags, missing/unreadable CSVs), 3 deadline exceeded (degraded result
+// was still printed).
 //
 // Demo (no arguments): generates the Retail data set into a temp directory
 // and matches it, so the tool is runnable out of the box.
@@ -114,6 +121,13 @@ int main(int argc, char** argv) {
       stages = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(arg, "threads", &value)) {
       options.threads = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "deadline-ms", &value)) {
+      options.deadline_ms = std::atoll(value.c_str());
+      if (options.deadline_ms <= 0) {
+        std::fprintf(stderr, "--deadline-ms needs a positive integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (ParseFlag(arg, "infer", &value)) {
       if (value == "naive") options.inference = ViewInferenceKind::kNaive;
       else if (value == "src") options.inference = ViewInferenceKind::kSrcClass;
@@ -167,15 +181,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Unreadable input is the caller's problem (exit 2: bad input), distinct
+  // from the tool's own failures (exit 1).
   auto source = LoadDirectory(source_dir, "source");
   if (!source.ok()) {
-    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
-    return 1;
+    std::fprintf(stderr, "cannot load source: %s\n",
+                 source.status().ToString().c_str());
+    return 2;
   }
   auto target = LoadDirectory(target_dir, "target");
   if (!target.ok()) {
-    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
-    return 1;
+    std::fprintf(stderr, "cannot load target: %s\n",
+                 target.status().ToString().c_str());
+    return 2;
   }
 
   std::printf("\nrunning ContextMatch: tau=%.2f omega=%.3f infer=%s "
@@ -208,6 +226,17 @@ int main(int argc, char** argv) {
   std::printf("(%zu matches, %.3fs total)\n", result.matches.size(),
               result.TotalSeconds());
 
+  // A degraded run still prints its partial answer above; the status and
+  // exit code tell scripts the answer is incomplete.
+  int exit_code = 0;
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "\nrun degraded: %s (completeness: %s)\n",
+                 result.status.ToString().c_str(),
+                 MatchCompletenessToString(result.completeness));
+    exit_code =
+        result.status.code() == StatusCode::kDeadlineExceeded ? 3 : 1;
+  }
+
   if (target_views) {
     std::printf("\n-- target-side contextual matching --\n");
     TargetContextMatchResult reversed =
@@ -217,6 +246,17 @@ int main(int argc, char** argv) {
     }
     for (const Match& m : reversed.matches) {
       std::printf("  %s\n", m.ToString().c_str());
+    }
+    if (!reversed.reversed.status.ok()) {
+      std::fprintf(stderr, "\ntarget-side run degraded: %s (completeness: %s)\n",
+                   reversed.reversed.status.ToString().c_str(),
+                   MatchCompletenessToString(reversed.reversed.completeness));
+      if (exit_code == 0) {
+        exit_code = reversed.reversed.status.code() ==
+                            StatusCode::kDeadlineExceeded
+                        ? 3
+                        : 1;
+      }
     }
   }
 
@@ -243,5 +283,5 @@ int main(int argc, char** argv) {
       std::printf("\nwrote metrics to %s\n", metrics_out.c_str());
     }
   }
-  return 0;
+  return exit_code;
 }

@@ -1,0 +1,80 @@
+#include "common/cancellation.h"
+
+#include <limits>
+
+namespace csm {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* CancelReasonToString(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kCaller:
+      return "caller";
+    case CancelReason::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::AfterMillis(int64_t ms) {
+  if (ms < 0) ms = 0;
+  Deadline d;
+  d.ns_ = NowNs() + ms * 1'000'000;
+  return d;
+}
+
+Deadline Deadline::At(std::chrono::steady_clock::time_point tp) {
+  Deadline d;
+  d.ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+              tp.time_since_epoch())
+              .count();
+  return d;
+}
+
+bool Deadline::Expired() const {
+  return ns_ != kInfiniteNs && NowNs() >= ns_;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (ns_ == kInfiniteNs) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(ns_ - NowNs()) * 1e-9;
+}
+
+void CancellationToken::CancelInternal(CancelReason reason) const {
+  uint8_t expected = 0;
+  reason_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+}
+
+void CancellationToken::Cancel(CancelReason reason) {
+  if (reason == CancelReason::kNone) return;
+  CancelInternal(reason);
+}
+
+bool CancellationToken::cancelled() const {
+  if (reason_.load(std::memory_order_acquire) != 0) return true;
+  if (parent_ != nullptr && parent_->cancelled()) {
+    CancelInternal(parent_->reason());
+    return true;
+  }
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != Deadline::kInfiniteNs && NowNs() >= deadline) {
+    CancelInternal(CancelReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace csm

@@ -1,0 +1,118 @@
+// Cooperative cancellation primitives: Deadline (a wall-clock budget on the
+// steady clock) and CancellationToken (a thread-safe, shareable "stop now"
+// flag with a reason).
+//
+// The matching pipeline is super-linear in candidate views x target
+// attributes, so a service cannot run it as an unbounded all-or-nothing
+// call.  Cancellation here is *cooperative*: nothing is interrupted
+// preemptively.  Long-running layers (exec::ParallelFor chunk claims, the
+// classifier grid, per-candidate scoring) poll the token at checkpoints and
+// drain — they finish the work they already claimed and stop starting new
+// work.  The degradation contracts built on top (which partial results a
+// cancelled run returns) are defined in DESIGN.md "Failure model, deadlines
+// & degradation".
+//
+// Thread safety: Cancel() / cancelled() / reason() may be called from any
+// thread concurrently.  set_deadline() and set_parent() are setup-time
+// calls: make them before the token is shared with other threads.
+
+#ifndef CSM_COMMON_CANCELLATION_H_
+#define CSM_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace csm {
+
+/// Why a token was cancelled.  First cancellation wins; later Cancel()
+/// calls with a different reason are ignored.
+enum class CancelReason : uint8_t {
+  kNone = 0,   // not cancelled
+  kDeadline,   // the token's deadline expired (or expiry was injected)
+  kCaller,     // an explicit Cancel() from the caller (MatchEngine::Cancel)
+  kFault,      // a task-level fault degraded the run (FaultInjector::kFail)
+};
+
+const char* CancelReasonToString(CancelReason reason);
+
+/// A point on the steady clock after which work should stop.  Cheap value
+/// type; the default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// `ms` from now (clamped to >= 0).
+  static Deadline AfterMillis(int64_t ms);
+
+  static Deadline At(std::chrono::steady_clock::time_point tp);
+
+  bool is_infinite() const { return ns_ == kInfiniteNs; }
+  bool Expired() const;
+
+  /// Seconds until expiry; negative once expired, +infinity when infinite.
+  double RemainingSeconds() const;
+
+  /// Nanoseconds since the steady-clock epoch (kInfiniteNs when infinite).
+  int64_t raw_ns() const { return ns_; }
+
+  static constexpr int64_t kInfiniteNs = INT64_MAX;
+
+ private:
+  int64_t ns_ = kInfiniteNs;
+};
+
+/// Thread-safe cancellation flag.  Cancellation is sticky and one-shot: the
+/// first reason to land wins.  A token optionally carries a Deadline —
+/// cancelled() self-cancels with kDeadline once it expires — and may be
+/// linked to a parent token, whose cancellation it observes and adopts
+/// (MatchEngine links its per-run token under the caller's token, so either
+/// the caller's Cancel() or the run deadline stops the same machinery).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  explicit CancellationToken(Deadline deadline) { set_deadline(deadline); }
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Cancels with `reason` (no-op if already cancelled).  Safe from any
+  /// thread; never blocks.
+  void Cancel(CancelReason reason = CancelReason::kCaller);
+
+  /// Setup-time: attach or replace the deadline.  Call before sharing.
+  void set_deadline(Deadline deadline) {
+    deadline_ns_.store(deadline.raw_ns(), std::memory_order_relaxed);
+  }
+
+  /// Setup-time: observe `parent`'s cancellation through this token.  The
+  /// parent must outlive this token.  Call before sharing; pass nullptr to
+  /// detach.
+  void set_parent(const CancellationToken* parent) { parent_ = parent; }
+
+  /// True once cancelled (by Cancel, by the parent, or because the deadline
+  /// expired — the deadline is checked lazily here, so polling cancelled()
+  /// is what makes deadlines fire).
+  bool cancelled() const;
+
+  /// kNone until cancelled; then the first reason that landed.  Note that
+  /// an expired-but-never-polled deadline reads kNone; call cancelled()
+  /// first when the distinction matters.
+  CancelReason reason() const {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+ private:
+  /// First-writer-wins reason slot.
+  void CancelInternal(CancelReason reason) const;
+
+  mutable std::atomic<uint8_t> reason_{0};
+  std::atomic<int64_t> deadline_ns_{Deadline::kInfiniteNs};
+  const CancellationToken* parent_ = nullptr;
+};
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_CANCELLATION_H_

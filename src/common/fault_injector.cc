@@ -1,0 +1,98 @@
+#include "common/fault_injector.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csm {
+namespace {
+
+struct ArmedSpec {
+  FaultInjector::ArmSpec spec;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ArmedSpec> specs;              // guarded by mu
+  std::map<std::string, uint64_t> fire_counts;  // guarded by mu
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Fast-path gate: number of armed specs.  Relaxed is fine — a Hit racing
+/// an Arm may miss it, which is indistinguishable from hitting the site a
+/// moment earlier; tests arm before starting the work they instrument.
+std::atomic<uint64_t> g_armed_count{0};
+
+}  // namespace
+
+void FaultInjector::Arm(ArmSpec spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.specs.push_back(ArmedSpec{std::move(spec), 0});
+  g_armed_count.store(registry.specs.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.specs.clear();
+  registry.fire_counts.clear();
+  g_armed_count.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::armed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+uint64_t FaultInjector::FireCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.fire_counts.find(site);
+  return it == registry.fire_counts.end() ? 0 : it->second;
+}
+
+bool FaultInjector::Hit(std::string_view site, uint64_t index) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return false;
+
+  bool fail = false;
+  int64_t sleep_ms = 0;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (ArmedSpec& armed : registry.specs) {
+      const ArmSpec& spec = armed.spec;
+      if (spec.site != site) continue;
+      if (spec.index != kAnyIndex && spec.index != index) continue;
+      if (spec.fire_limit != 0 && armed.fires >= spec.fire_limit) continue;
+      ++armed.fires;
+      ++registry.fire_counts[std::string(site)];
+      switch (spec.action) {
+        case Action::kCancel:
+          if (spec.token != nullptr) spec.token->Cancel(spec.reason);
+          break;
+        case Action::kFail:
+          if (spec.token != nullptr) spec.token->Cancel(spec.reason);
+          fail = true;
+          break;
+        case Action::kSleep:
+          sleep_ms += spec.sleep_ms;
+          break;
+      }
+    }
+  }
+  // Sleep outside the registry lock so slow-worker injection slows only the
+  // hitting thread, not every other site.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return fail;
+}
+
+}  // namespace csm

@@ -6,6 +6,7 @@
 
 #include <chrono>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "exec/parallel.h"
 #include "exec/task_rng.h"
@@ -182,7 +183,10 @@ std::vector<ViewFamily> RunGridCell(const Table& source_sample,
   for (;;) {
     TrainTestOutcome outcome = RunCycle(split, cell.h_col, cell.l_col,
                                         grouping, factory, cell.h_type);
-    if (outcome.train_count == 0 ||
+    // The explicit total() == 0 clause keeps the empty-test case (all-NULL
+    // columns, single-row samples) out of the significance gate even when a
+    // caller sets min_test_size to 0.
+    if (outcome.train_count == 0 || outcome.eval.total() == 0 ||
         outcome.eval.total() < options.min_test_size) {
       break;
     }
@@ -247,7 +251,10 @@ std::vector<ViewFamily> ClusteredViewGen(
     const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
     std::vector<std::string> label_attributes,
     std::vector<std::string> evidence_attributes, exec::ThreadPool* pool,
-    const obs::ObsHooks& obs) {
+    const obs::ObsHooks& obs, const CancellationToken* cancel) {
+  // Nothing to split into train/test: no cell could pass the significance
+  // gate, so skip the grid entirely.
+  if (source_sample.num_rows() < 2) return {};
   if (label_attributes.empty()) {
     label_attributes = CategoricalAttributes(source_sample, categorical);
   }
@@ -284,8 +291,15 @@ std::vector<ViewFamily> ClusteredViewGen(
   // deterministic RNG, so the train/test partitions do not depend on the
   // number of workers (or on which other cells exist being re-ordered).
   const uint64_t grid_seed = rng.Next();
-  std::vector<std::vector<ViewFamily>> cell_results =
-      exec::ParallelMap(pool, cells.size(), [&](size_t i) {
+  std::vector<std::vector<ViewFamily>> cell_results = exec::ParallelMap(
+      pool, cells.size(),
+      [&](size_t i) {
+        // Fault site "inference.cell" (index = grid cell index).  A kFail
+        // arm drops just this cell's families; kCancel arms cancel the
+        // caller-owned token, which the surrounding ParallelMap drains on.
+        if (FaultInjector::Hit("inference.cell", i)) {
+          return std::vector<ViewFamily>{};
+        }
         std::string span_name;
         if (obs.tracer != nullptr) {
           span_name = "cell:" + *cells[i].label + "/" + *cells[i].evidence;
@@ -309,7 +323,8 @@ std::vector<ViewFamily> ClusteredViewGen(
                   .count());
         }
         return families;
-      });
+      },
+      cancel);
 
   // Merge in grid order: best accepted family per (label, partition).
   std::map<std::string, ViewFamily> accepted;

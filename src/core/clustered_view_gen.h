@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/random.h"
 #include "core/context_options.h"
 #include "exec/thread_pool.h"
@@ -58,13 +59,27 @@ using ClassifierFactory =
 /// `obs` optionally records one span and one "inference.cell_seconds"
 /// histogram observation per grid cell (plus an "inference.grid_cells"
 /// counter).  Observation never affects the emitted families.
+///
+/// `cancel` makes the grid cooperative: workers poll the token between
+/// cell claims and drain once it is cancelled, so only a subset of cells
+/// contributes.  Callers must then treat the returned families as
+/// incomplete.  The "inference.cell" FaultInjector site fires once per
+/// cell (cell grid index) before the cell trains; a kFail arm drops just
+/// that cell's families.
+///
+/// Degenerate inputs return cleanly and empty: tables with fewer than two
+/// rows (nothing to split into train/test), label attributes that are
+/// all-NULL or whose distinct-value count is outside [2,
+/// max_label_cardinality], and cells whose test side ends up empty (the
+/// significance gate needs test evidence) all emit no families.
 std::vector<ViewFamily> ClusteredViewGen(
     const Table& source_sample, const ClassifierFactory& factory,
     const ClusteredViewGenOptions& options,
     const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
     std::vector<std::string> label_attributes = {},
     std::vector<std::string> evidence_attributes = {},
-    exec::ThreadPool* pool = nullptr, const obs::ObsHooks& obs = {});
+    exec::ThreadPool* pool = nullptr, const obs::ObsHooks& obs = {},
+    const CancellationToken* cancel = nullptr);
 
 }  // namespace csm
 

@@ -4,6 +4,18 @@
 
 namespace csm {
 
+const char* MatchCompletenessToString(MatchCompleteness completeness) {
+  switch (completeness) {
+    case MatchCompleteness::kComplete:
+      return "complete";
+    case MatchCompleteness::kPartialViews:
+      return "partial_views";
+    case MatchCompleteness::kBaselineOnly:
+      return "baseline_only";
+  }
+  return "unknown";
+}
+
 // The pipeline lives in MatchEngine (core/match_engine.cc); the free
 // functions are compatibility wrappers over a throwaway engine, so one-shot
 // callers keep the old API while repeat callers construct an engine and

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/context_options.h"
 #include "core/select_matches.h"
 #include "core/view_inference.h"
@@ -17,6 +18,24 @@
 #include "relational/view.h"
 
 namespace csm {
+
+/// How much of the pipeline a result covers.  Anything other than
+/// kComplete means the run was cancelled (deadline, caller, or injected
+/// fault) and degraded per the per-phase contracts in DESIGN.md "Failure
+/// model, deadlines & degradation".
+enum class MatchCompleteness {
+  /// Every phase ran to the end; the result is the full answer.
+  kComplete,
+  /// The standard-match baseline is complete and at least one chunk of
+  /// contextual view scoring finished; selection ran over that partial
+  /// pool, so contextual matches may be present but more existed to score.
+  kPartialViews,
+  /// Only standard matches (possibly from a prefix of the source tables,
+  /// when cancellation landed inside phase 1); no contextual matches.
+  kBaselineOnly,
+};
+
+const char* MatchCompletenessToString(MatchCompleteness completeness);
 
 /// Output of a ContextMatch run.
 struct ContextMatchResult {
@@ -30,6 +49,13 @@ struct ContextMatchResult {
   /// Worker threads the run used (ContextMatchOptions::threads after
   /// resolving 0 to the hardware concurrency).
   size_t threads_used = 1;
+
+  /// OK for a complete run.  kDeadlineExceeded / kCancelled / kInternal
+  /// when the run degraded (deadline, caller Cancel, injected fault); the
+  /// message names the phase cancellation was observed in.  Degraded runs
+  /// still return their best-so-far matches — check `completeness`.
+  Status status;
+  MatchCompleteness completeness = MatchCompleteness::kComplete;
 
   /// Observability snapshot of the run: per-phase wall-clock seconds
   /// ("standard_match", "inference", "scoring", "selection"), work-volume

@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "exec/parallel.h"
 #include "exec/task_rng.h"
@@ -168,6 +169,15 @@ uint64_t FingerprintDatabase(const Database& db) {
 /// exists for repeat calls on the same few databases, not as an LRU).
 constexpr size_t kMaxCachedSessionSets = 8;
 
+/// Degradation quanta: cancellation is only observed at fixed chunk
+/// boundaries (exec::CancellableChunkedMap), so a degraded run's partial
+/// output is always a whole number of chunks — a deterministic prefix when
+/// the cancellation point itself is deterministic (fault injection on a
+/// logical index), and a well-formed one in every case (wall-clock
+/// deadlines, Cancel() from another thread).
+constexpr size_t kSessionChunk = 8;   // phase 1: tables per chunk
+constexpr size_t kScoringChunk = 16;  // phase 2: candidate views per chunk
+
 /// Detaches the pool's observability sinks on scope exit, so a per-call
 /// registry never outlives its attachment even on an exceptional unwind.
 class PoolObsGuard {
@@ -197,21 +207,30 @@ MatchEngine::MatchEngine(ContextMatchOptions options)
 MatchEngine::~MatchEngine() = default;
 
 ContextMatchResult MatchEngine::Match(const Database& source,
-                                      const Database& target) {
-  return RunPipeline(source, target, /*max_stages=*/1);
+                                      const Database& target,
+                                      const CancellationToken* cancel) {
+  return RunPipeline(source, target, /*max_stages=*/1, cancel);
 }
 
-ContextMatchResult MatchEngine::ConjunctiveMatch(const Database& source,
-                                                 const Database& target,
-                                                 size_t max_stages) {
-  return RunPipeline(source, target, max_stages);
+ContextMatchResult MatchEngine::ConjunctiveMatch(
+    const Database& source, const Database& target, size_t max_stages,
+    const CancellationToken* cancel) {
+  return RunPipeline(source, target, max_stages, cancel);
+}
+
+void MatchEngine::Cancel() {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  if (active_cancel_ != nullptr) {
+    active_cancel_->Cancel(CancelReason::kCaller);
+  }
 }
 
 TargetContextMatchResult MatchEngine::TargetContextMatch(
-    const Database& source, const Database& target) {
+    const Database& source, const Database& target,
+    const CancellationToken* cancel) {
   TargetContextMatchResult result;
   // Reverse the roles: conditions are inferred on `target`'s tables.
-  result.reversed = RunPipeline(target, source, /*max_stages=*/1);
+  result.reversed = RunPipeline(target, source, /*max_stages=*/1, cancel);
 
   // `csm::Match` the struct is qualified here: unqualified `Match` inside a
   // member function names the MatchEngine::Match overload.
@@ -229,59 +248,109 @@ TargetContextMatchResult MatchEngine::TargetContextMatch(
   return result;
 }
 
-MatchEngine::SessionCacheEntry& MatchEngine::LookupSessions(
+MatchEngine::SessionLookup MatchEngine::LookupSessions(
     const Database& source, const Database& target,
-    obs::MetricsRegistry* registry, uint64_t parent_span) {
+    obs::MetricsRegistry* registry, uint64_t parent_span,
+    const CancellationToken* cancel) {
   const auto key = std::make_pair(FingerprintDatabase(source),
                                   FingerprintDatabase(target));
   auto it = session_cache_.find(key);
   if (it != session_cache_.end()) {
     ++cache_hits_;
     registry->AddCounter("engine.session_cache_hits");
-    return it->second;
+    return SessionLookup{&it->second, it->second.sessions.size()};
   }
   ++cache_misses_;
   registry->AddCounter("engine.session_cache_misses");
   if (session_cache_.size() >= kMaxCachedSessionSets) session_cache_.clear();
 
-  // Build per-table sessions, all tables concurrently.  Session
-  // construction and AcceptedMatches draw no random numbers, and results
-  // land in table order, so warm-cache runs are bit-identical to cold ones.
+  // Build per-table sessions concurrently in fixed chunks of kSessionChunk
+  // tables; `cancel` is consulted only between chunks, so a degraded build
+  // yields a whole-chunk table prefix.  Session construction and
+  // AcceptedMatches draw no random numbers, and results land in table
+  // order, so warm-cache runs are bit-identical to cold ones.
   obs::Tracer* tracer = tracer_;
-  SessionCacheEntry entry;
   const auto& tables = source.tables();
   struct Built {
     std::unique_ptr<TableMatchSession> session;
     MatchList accepted;
   };
-  std::vector<Built> built =
-      exec::ParallelMap(pool_.get(), tables.size(), [&](size_t i) {
+  exec::ChunkedMapCut cut;
+  std::vector<Built> built = exec::CancellableChunkedMap(
+      pool_.get(), tables.size(), kSessionChunk, cancel, &cut, [&](size_t i) {
+        Built b;
+        // Fault site "standard.session" (index = source table index).  A
+        // kFail arm leaves this table's session null, truncating the
+        // usable prefix below.
+        if (FaultInjector::Hit("standard.session", i)) return b;
         std::string span_name;
         if (tracer != nullptr) span_name = "session:" + tables[i].name();
         obs::ScopedSpan span(tracer, span_name, parent_span);
         const auto start = Clock::now();
-        Built b;
         b.session = std::make_unique<TableMatchSession>(
             tables[i], target, DefaultMatcherSuite(), options_.match);
         b.accepted = b.session->AcceptedMatches(options_.tau);
         registry->Observe("standard.session_seconds", SecondsSince(start));
         return b;
       });
-  entry.sessions.reserve(built.size());
-  entry.accepted.reserve(built.size());
-  for (Built& b : built) {
-    entry.sessions.push_back(std::move(b.session));
-    entry.accepted.push_back(std::move(b.accepted));
+  // Keep the longest prefix of consecutively built sessions; a fault-failed
+  // table ends it even when later tables finished.
+  size_t valid = 0;
+  while (valid < built.size() && built[valid].session != nullptr) ++valid;
+
+  SessionCacheEntry entry;
+  entry.sessions.reserve(valid);
+  entry.accepted.reserve(valid);
+  for (size_t i = 0; i < valid; ++i) {
+    entry.sessions.push_back(std::move(built[i].session));
+    entry.accepted.push_back(std::move(built[i].accepted));
   }
-  return session_cache_.emplace(key, std::move(entry)).first->second;
+  if (valid == tables.size()) {
+    return SessionLookup{
+        &session_cache_.emplace(key, std::move(entry)).first->second, valid};
+  }
+  // Partial build: usable for this call's degraded result but never cached
+  // (a later call must rebuild the full set).
+  partial_sessions_ = std::move(entry);
+  return SessionLookup{&partial_sessions_, valid};
 }
 
 ContextMatchResult MatchEngine::RunPipeline(const Database& source,
                                             const Database& target,
-                                            size_t max_stages) {
+                                            size_t max_stages,
+                                            const CancellationToken* cancel) {
   CSM_CHECK_GE(max_stages, 1u);
   ContextMatchResult result;
   result.threads_used = threads_;
+
+  // The run's own token: fed by the options deadline, the caller's token
+  // (as parent) and Cancel() from another thread — whichever fires first.
+  CancellationToken run_cancel;
+  if (options_.deadline_ms > 0) {
+    run_cancel.set_deadline(Deadline::AfterMillis(options_.deadline_ms));
+  }
+  run_cancel.set_parent(cancel);
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    active_cancel_ = &run_cancel;
+  }
+  struct ActiveCancelGuard {
+    MatchEngine* engine;
+    ~ActiveCancelGuard() {
+      std::lock_guard<std::mutex> lock(engine->cancel_mu_);
+      engine->active_cancel_ = nullptr;
+    }
+  } active_cancel_guard{this};
+
+  // Phase name the run was first observed cancelled in; empty while the
+  // run is healthy.  Every phase boundary funnels through CheckCancelled.
+  std::string cancelled_phase;
+  auto CheckCancelled = [&](const char* phase) {
+    if (cancelled_phase.empty() && run_cancel.cancelled()) {
+      cancelled_phase = phase;
+    }
+    return !cancelled_phase.empty();
+  };
 
   // Per-call registry: phase seconds, work counters and latency histograms
   // all aggregate here; a snapshot becomes result.phases and the contents
@@ -300,18 +369,21 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
     obs::ScopedSpan root(tracer, "ContextMatch");
 
     // Phase 1: standard match per source table (cached across calls).
+    // Degradation contract: cancellation here leaves the run with the
+    // completed prefix of tables' sessions — their accepted matches are the
+    // whole baseline, no contextual stages run (kBaselineOnly).
     std::vector<SourceState> states;
     {
       obs::ScopedSpan phase(tracer, "standard_match");
       auto start = Clock::now();
-      SessionCacheEntry& sessions =
-          LookupSessions(source, target, &registry, phase.id());
+      SessionLookup sessions =
+          LookupSessions(source, target, &registry, phase.id(), &run_cancel);
       const auto& tables = source.tables();
-      states.resize(tables.size());
-      for (size_t i = 0; i < tables.size(); ++i) {
+      states.resize(sessions.valid_tables);
+      for (size_t i = 0; i < sessions.valid_tables; ++i) {
         states[i].sample = &tables[i];
-        states[i].session = sessions.sessions[i].get();
-        states[i].accepted = &sessions.accepted[i];
+        states[i].session = sessions.entry->sessions[i].get();
+        states[i].accepted = &sessions.entry->accepted[i];
       }
       for (const SourceState& state : states) {
         for (const csm::Match& m : *state.accepted) {
@@ -321,6 +393,12 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
       }
       registry.AddCounter("source_tables", states.size());
       registry.AddSeconds("standard_match", SecondsSince(start));
+      // A short prefix without a cancelled token means a fault injection
+      // failed a session outright; still a degraded phase-1 run.
+      if (sessions.valid_tables < tables.size() && cancelled_phase.empty()) {
+        cancelled_phase = "standard_match";
+      }
+      CheckCancelled("standard_match");
     }
 
     // Phase 2 (per stage): infer candidate views, then score the
@@ -337,13 +415,17 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
     }
 
     SelectionResult selection;
-    for (size_t stage = 0; stage < max_stages; ++stage) {
+    for (size_t stage = 0; cancelled_phase.empty() && stage < max_stages;
+         ++stage) {
       obs::ScopedSpan stage_span(tracer, "stage:" + std::to_string(stage));
       std::vector<CandidateView> stage_candidates;
       {
         obs::ScopedSpan phase(tracer, "inference");
         auto start = Clock::now();
         for (const StageBase& base : stage_bases) {
+          // Drain between tables once cancelled; the whole stage's
+          // candidates are discarded below, this only shortens the wait.
+          if (run_cancel.cancelled()) break;
           const SourceState& state = states[base.state_index];
           if (state.accepted->empty()) continue;
 
@@ -369,6 +451,7 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
           input.obs.tracer = tracer;
           input.obs.metrics = &registry;
           input.obs.parent_span = phase.id();
+          input.cancel = &run_cancel;
 
           for (CandidateView& candidate :
                inference->InferCandidateViews(input, rng)) {
@@ -386,8 +469,12 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
         }
         registry.AddSeconds("inference", SecondsSince(start));
       }
+      // Degradation contract: a stage cancelled during inference discards
+      // ALL of its candidates — partially inferred grids are schedule-
+      // dependent, so none of them may leak into the pool.  Earlier,
+      // fully completed stages keep their scored views.
+      if (CheckCancelled("inference")) break;
       if (stage_candidates.empty()) break;
-      registry.AddCounter("candidate_views", stage_candidates.size());
 
       {
         obs::ScopedSpan phase(tracer, "scoring");
@@ -395,11 +482,22 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
         // All candidates score concurrently: candidate i gets its own RNG
         // stream split off one sequential draw, and the fragments are
         // merged in candidate order, so the pool is byte-identical to a
-        // serial run.
+        // serial run.  Cancellation is observed only between fixed chunks
+        // of kScoringChunk candidates (a started chunk always completes),
+        // so a degraded run's pool is the completed whole-chunk prefix —
+        // the same prefix at any thread count.
         const uint64_t scoring_seed = rng.Next();
-        std::vector<ScoredFragment> fragments =
-            exec::ParallelMap(pool, stage_candidates.size(), [&](size_t i) {
+        exec::ChunkedMapCut cut;
+        std::vector<ScoredFragment> fragments = exec::CancellableChunkedMap(
+            pool, stage_candidates.size(), kScoringChunk, &run_cancel, &cut,
+            [&](size_t i) {
               const View& view = stage_candidates[i].view;
+              // Fault site "scoring.candidate" (index = candidate index in
+              // stage order).  A kFail arm leaves just this fragment
+              // unscored; the run itself continues.
+              if (FaultInjector::Hit("scoring.candidate", i)) {
+                return ScoredFragment{};
+              }
               std::string span_name;
               if (tracer != nullptr) span_name = "score:" + view.name();
               // Implicit parent: the worker's pool-task span (itself under
@@ -419,7 +517,10 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
                                SecondsSince(view_start));
               return fragment;
             });
-        for (size_t i = 0; i < stage_candidates.size(); ++i) {
+        // Merge only the completed prefix; candidates past the cut are
+        // neither scored nor recorded (counters stay thread-count
+        // independent because the cut lands on a chunk boundary).
+        for (size_t i = 0; i < fragments.size(); ++i) {
           ScoredFragment& fragment = fragments[i];
           const View& view = stage_candidates[i].view;
           if (fragment.scored) {
@@ -431,10 +532,14 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
           }
           result.pool.candidate_views.push_back(view);
         }
+        registry.AddCounter("candidate_views", fragments.size());
         registry.AddSeconds("scoring", SecondsSince(start));
+        CheckCancelled("scoring");
       }
 
-      // Phase 3: selection over everything scored so far.
+      // Phase 3: selection over everything scored so far.  Selection is
+      // cheap and bounded by the pool size, so it always runs — even on a
+      // degraded run it distills the partial pool into the best answer.
       {
         obs::ScopedSpan phase(tracer, "selection");
         auto start = Clock::now();
@@ -442,6 +547,7 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
         registry.AddSeconds("selection", SecondsSince(start));
       }
 
+      if (!cancelled_phase.empty()) break;
       if (stage + 1 >= max_stages) break;
 
       // Next stage: the selected views become base "tables".
@@ -467,6 +573,38 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
 
     result.matches = std::move(selection.matches);
     result.selected_views = std::move(selection.selected_views);
+
+    if (!cancelled_phase.empty()) {
+      // Completeness: contextual matches present means at least one whole
+      // scoring chunk finished (kPartialViews); none means the run never
+      // got past the baseline (kBaselineOnly).
+      result.completeness = result.pool.view_matches.empty()
+                                ? MatchCompleteness::kBaselineOnly
+                                : MatchCompleteness::kPartialViews;
+      switch (run_cancel.reason()) {
+        case CancelReason::kDeadline:
+          result.status = Status::DeadlineExceeded(
+              "deadline expired during " + cancelled_phase);
+          break;
+        case CancelReason::kCaller:
+          result.status =
+              Status::Cancelled("cancelled by caller during " +
+                                cancelled_phase);
+          break;
+        default:  // kFault, or a fault-failed unit without a cancelled token
+          result.status =
+              Status::Internal("injected fault during " + cancelled_phase);
+          break;
+      }
+      registry.AddCounter("engine.cancelled");
+      registry.AddCounter("cancelled." + cancelled_phase);
+      if (!result.matches.empty()) {
+        registry.AddCounter("engine.degraded_results");
+      }
+      // Zero-length marker span so traces show where the run was cut.
+      obs::ScopedSpan marker(tracer, "cancelled:" + cancelled_phase,
+                             root.id());
+    }
   }  // root span closes here, before the snapshot
 
   if (pool != nullptr) pool->SetObservability(nullptr, nullptr);

@@ -23,8 +23,18 @@
 //     or warm cache (determinism_test enforces this).
 //
 // The engine is not internally synchronized: run one Match call at a time
-// per engine (the call itself parallelizes internally).  The free functions
-// remain as one-line wrappers over a throwaway engine.
+// per engine (the call itself parallelizes internally).  The only member
+// safe to call concurrently with a running Match is Cancel().  The free
+// functions remain as one-line wrappers over a throwaway engine.
+//
+// Deadlines & cancellation: a Match call can be bounded three ways — a
+// wall-clock budget (ContextMatchOptions::deadline_ms), a caller-owned
+// CancellationToken passed to Match, or Cancel() invoked from another
+// thread.  All three degrade the run cooperatively instead of aborting it:
+// phases poll the token at deterministic checkpoints, drain work already
+// claimed, and the result carries whatever completed plus a non-OK status
+// and a ContextMatchResult::completeness tag (see DESIGN.md "Failure
+// model, deadlines & degradation").
 
 #ifndef CSM_CORE_MATCH_ENGINE_H_
 #define CSM_CORE_MATCH_ENGINE_H_
@@ -32,9 +42,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/context_match.h"
 #include "core/target_context.h"
 #include "exec/thread_pool.h"
@@ -52,16 +64,31 @@ class MatchEngine {
   MatchEngine& operator=(const MatchEngine&) = delete;
 
   /// Algorithm ContextMatch (Fig. 5) over every source table.
-  ContextMatchResult Match(const Database& source, const Database& target);
+  ///
+  /// `cancel` optionally bounds the run: when the token is cancelled (by
+  /// the caller, a parent deadline, or a fault injection) the run degrades
+  /// per the per-phase contracts and returns early with a non-OK
+  /// result.status.  The token is only read; it must outlive the call.
+  /// Combined with options().deadline_ms, whichever fires first wins.
+  ContextMatchResult Match(const Database& source, const Database& target,
+                           const CancellationToken* cancel = nullptr);
 
   /// Section 3.5 conjunctive staging; max_stages == 1 is plain Match.
   ContextMatchResult ConjunctiveMatch(const Database& source,
                                       const Database& target,
-                                      size_t max_stages);
+                                      size_t max_stages,
+                                      const CancellationToken* cancel = nullptr);
 
   /// Reverse-role run with conditions on target tables (core/target_context.h).
-  TargetContextMatchResult TargetContextMatch(const Database& source,
-                                              const Database& target);
+  TargetContextMatchResult TargetContextMatch(
+      const Database& source, const Database& target,
+      const CancellationToken* cancel = nullptr);
+
+  /// Requests cooperative cancellation of the Match call currently running
+  /// on another thread (reason kCaller).  Safe to call from any thread at
+  /// any time; a no-op when no call is in flight.  The running call drains
+  /// and returns a degraded result with status kCancelled.
+  void Cancel();
 
   /// Optional sinks, applied to every subsequent call.  Null detaches.
   /// The tracer receives the span hierarchy (phases, stages, grid cells,
@@ -90,17 +117,30 @@ class MatchEngine {
     std::vector<MatchList> accepted;
   };
 
+  /// What LookupSessions handed back: the entry plus how many leading
+  /// tables actually have sessions.  `valid_tables` only falls short of the
+  /// source table count when the build was cancelled or fault-injected
+  /// mid-way; such partial entries live in `partial_sessions_`, never in
+  /// the cache.
+  struct SessionLookup {
+    const SessionCacheEntry* entry = nullptr;
+    size_t valid_tables = 0;
+  };
+
   /// Returns the cache entry for (source, target), building the sessions
-  /// (in parallel, one task per table) on a miss.  The reference stays
-  /// valid for the remainder of the current call.
-  SessionCacheEntry& LookupSessions(const Database& source,
-                                    const Database& target,
-                                    obs::MetricsRegistry* registry,
-                                    uint64_t parent_span);
+  /// (in parallel, in fixed chunks of tables) on a miss.  `cancel` is
+  /// polled between chunks; a cancelled build returns the completed table
+  /// prefix and is not cached.  The pointer stays valid for the remainder
+  /// of the current call.
+  SessionLookup LookupSessions(const Database& source, const Database& target,
+                               obs::MetricsRegistry* registry,
+                               uint64_t parent_span,
+                               const CancellationToken* cancel);
 
   /// The full staged pipeline behind Match / ConjunctiveMatch.
   ContextMatchResult RunPipeline(const Database& source,
-                                 const Database& target, size_t max_stages);
+                                 const Database& target, size_t max_stages,
+                                 const CancellationToken* cancel);
 
   ContextMatchOptions options_;
   size_t threads_ = 1;
@@ -111,6 +151,18 @@ class MatchEngine {
   std::map<std::pair<uint64_t, uint64_t>, SessionCacheEntry> session_cache_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+
+  /// Scratch for a cancelled phase-1 build: the completed prefix of
+  /// sessions for the *current* call only (overwritten by the next
+  /// degraded call, cleared implicitly — never read across calls).
+  SessionCacheEntry partial_sessions_;
+
+  /// The in-flight run's cancellation token, registered for the duration
+  /// of RunPipeline so Cancel() can reach it from another thread.  The
+  /// mutex orders registration/clearing against Cancel(), which keeps the
+  /// token (a RunPipeline stack object) alive while being cancelled.
+  std::mutex cancel_mu_;
+  CancellationToken* active_cancel_ = nullptr;
 };
 
 }  // namespace csm

@@ -39,6 +39,9 @@ std::vector<std::string> FilteredLabelAttributes(
 std::vector<CandidateView> SrcClassInfer::InferCandidateViews(
     const InferenceInput& input, Rng& rng) {
   if (input.matches == nullptr || input.matches->empty()) return {};
+  if (input.source_sample == nullptr || input.source_sample->num_rows() == 0) {
+    return {};
+  }
   std::vector<std::string> labels = FilteredLabelAttributes(input, categorical_);
   if (labels.empty()) return {};
   ClassifierFactory factory =
@@ -51,7 +54,7 @@ std::vector<CandidateView> SrcClassInfer::InferCandidateViews(
   std::vector<ViewFamily> families = ClusteredViewGen(
       *input.source_sample, factory, clustered_, categorical_,
       input.early_disjuncts, rng, std::move(labels), {}, input.pool,
-      input.obs);
+      input.obs, input.cancel);
   return CandidatesFromFamilies(families);
 }
 

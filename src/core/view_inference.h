@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/random.h"
 #include "core/context_options.h"
 #include "exec/thread_pool.h"
@@ -42,6 +43,12 @@ struct InferenceInput {
   /// histogram per classifier-grid cell).  Default hooks are all-null and
   /// record nothing; observation never feeds back into the results.
   obs::ObsHooks obs;
+  /// Optional cooperative-cancellation token.  Once cancelled, the grid
+  /// strategies drain (claimed cells finish, unclaimed cells are skipped)
+  /// and return early; the caller must treat the candidates as incomplete
+  /// (the pipeline discards the whole stage — see DESIGN.md "Failure
+  /// model, deadlines & degradation").
+  const CancellationToken* cancel = nullptr;
 };
 
 /// One proposed candidate view plus the evidence that produced it.

@@ -8,9 +8,11 @@ namespace {
 /// Heap-allocated and shared_ptr-owned so helper tasks that lose the race
 /// with the caller's final wake-up can still touch it safely.
 struct LoopState {
-  explicit LoopState(size_t n) : limit(n) {}
+  LoopState(size_t n, const CancellationToken* cancel_token)
+      : limit(n), cancel(cancel_token) {}
 
   const size_t limit;
+  const CancellationToken* const cancel;  // may be null
   std::atomic<size_t> next{0};
   std::atomic<bool> abort{false};
 
@@ -19,10 +21,13 @@ struct LoopState {
   size_t helpers_running = 0;
   std::exception_ptr first_exception;  // guarded by mu
 
-  /// Claims and runs iterations until the range is drained or aborted.
+  /// Claims and runs iterations until the range is drained, aborted, or
+  /// the token is cancelled (the cooperative checkpoint: polled before
+  /// every claim, so in-flight bodies finish but no new work starts).
   void Drain(const std::function<void(size_t)>& body) {
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
+      if (cancel != nullptr && cancel->cancelled()) return;
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= limit) return;
       try {
@@ -40,16 +45,20 @@ struct LoopState {
 }  // namespace
 
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& body) {
+                 const std::function<void(size_t)>& body,
+                 const CancellationToken* cancel) {
   if (n == 0) return;
   const bool serial =
       pool == nullptr || pool->size() <= 1 || n == 1 || ThreadPool::InWorker();
   if (serial) {
-    for (size_t i = 0; i < n; ++i) body(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      body(i);
+    }
     return;
   }
 
-  auto state = std::make_shared<LoopState>(n);
+  auto state = std::make_shared<LoopState>(n, cancel);
   // The caller participates too, so helpers beyond n-1 are pointless.
   const size_t helpers = std::min(pool->size(), n - 1);
   {

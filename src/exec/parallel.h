@@ -1,15 +1,28 @@
 // ParallelFor / ParallelMap: order-preserving data-parallel loops on top of
-// exec::ThreadPool.
+// exec::ThreadPool, plus CancellableChunkedMap, the deadline-aware variant
+// the pipeline's degradation contracts are built on.
 //
 // Contract: the result (including exception behaviour and output order) is
 // identical whether the loop runs serially or on N workers — parallelism
 // only changes wall-clock time.  Callers are responsible for making the
 // body safe to run concurrently for distinct indices; per-task RNG streams
 // come from exec/task_rng.h, never from shared mutable generators.
+//
+// Cancellation: when a CancellationToken is supplied, ParallelFor becomes
+// cooperative — the caller and every helper poll the token between
+// iteration claims and *drain* (finish what they claimed, stop claiming)
+// once it is cancelled.  Which iterations ran is then schedule-dependent;
+// use ParallelFor+token only where the partial output is discarded or
+// order-insensitive.  CancellableChunkedMap is the deterministic
+// alternative: fixed chunks, token checked only at chunk barriers, a chunk
+// always completes once started, so the completed prefix depends only on
+// *when the token was cancelled in logical work units*, not on the thread
+// count (see DESIGN.md "Failure model, deadlines & degradation").
 
 #ifndef CSM_EXEC_PARALLEL_H_
 #define CSM_EXEC_PARALLEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -19,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "exec/thread_pool.h"
 
 namespace csm {
@@ -33,18 +47,80 @@ namespace exec {
 /// thread after all in-flight iterations finish; remaining unclaimed
 /// iterations are abandoned.  The calling thread participates in the loop,
 /// so progress is guaranteed even if the pool is busy elsewhere.
+///
+/// With a non-null `cancel`, every participant checks the token before
+/// claiming each iteration and drains once it is cancelled; iterations
+/// that were never claimed simply do not run.
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& body);
+                 const std::function<void(size_t)>& body,
+                 const CancellationToken* cancel = nullptr);
 
 /// Runs fn(i) for every i in [0, n) and returns the results in index order.
 /// T must be default-constructible and move-assignable.  Same serial /
-/// exception semantics as ParallelFor.
+/// exception / cancellation semantics as ParallelFor (skipped iterations
+/// leave default-constructed slots).
 template <typename Fn>
-auto ParallelMap(ThreadPool* pool, size_t n, Fn&& fn)
+auto ParallelMap(ThreadPool* pool, size_t n, Fn&& fn,
+                 const CancellationToken* cancel = nullptr)
     -> std::vector<decltype(fn(size_t{0}))> {
   using T = decltype(fn(size_t{0}));
   std::vector<T> out(n);
-  ParallelFor(pool, n, [&](size_t i) { out[i] = fn(i); });
+  ParallelFor(
+      pool, n, [&](size_t i) { out[i] = fn(i); }, cancel);
+  return out;
+}
+
+/// Outcome of a CancellableChunkedMap: how much of the range completed and
+/// whether the token was observed cancelled at a barrier.
+struct ChunkedMapCut {
+  size_t completed = 0;   // leading items fully computed (a prefix)
+  bool cancelled = false;
+};
+
+/// Maps fn over [0, n) in fixed chunks of `chunk` items.  Each chunk runs
+/// through ParallelFor (without a token — a started chunk always runs to
+/// completion); the token is checked once per chunk on the calling thread,
+/// *between* chunks.  On cancellation the loop stops and the returned
+/// vector is truncated to the completed prefix.
+///
+/// Determinism: chunk boundaries depend only on n and `chunk`.  When the
+/// cancellation trigger is itself a deterministic function of the logical
+/// work (a FaultInjector spec armed on a fixed index), the completed prefix
+/// — and therefore the whole output — is bit-identical at any thread
+/// count.  Wall-clock deadlines cancel at a nondeterministic chunk, but
+/// the output is still always a well-formed prefix of complete chunks.
+///
+/// Latency: once the token is cancelled, at most one chunk of work remains
+/// in flight, so keep `chunk` small enough that a chunk's work fits the
+/// acceptable overshoot past a deadline.
+template <typename Fn>
+auto CancellableChunkedMap(ThreadPool* pool, size_t n, size_t chunk,
+                           const CancellationToken* cancel,
+                           ChunkedMapCut* cut, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  using T = decltype(fn(size_t{0}));
+  if (chunk == 0) chunk = 1;
+  std::vector<T> out(n);
+  size_t completed = 0;
+  bool cancelled = false;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      cancelled = true;
+      break;
+    }
+    const size_t end = std::min(n, begin + chunk);
+    ParallelFor(pool, end - begin,
+                [&](size_t i) { out[begin + i] = fn(begin + i); });
+    completed = end;
+  }
+  out.resize(completed);
+  if (cut != nullptr) {
+    cut->completed = completed;
+    // A cancellation that lands during the final chunk still degrades the
+    // run (the caller must report it) even though the output is complete.
+    cut->cancelled =
+        cancelled || (cancel != nullptr && cancel->cancelled());
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -97,6 +98,11 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       metrics->Observe("pool.task_wait_seconds",
                        SecondsBetween(task.enqueued, run_start));
     }
+    // Fault site: slow-worker injection before the task body runs.  The
+    // sequence number is schedule-dependent, so only kSleep arms are
+    // meaningful here (see common/fault_injector.h).
+    FaultInjector::Hit("pool.task", task_seq_.fetch_add(
+                                        1, std::memory_order_relaxed));
     {
       obs::ScopedSpan span(tracer, "pool_task", task.parent_span);
       task.fn();

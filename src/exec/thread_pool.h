@@ -20,6 +20,7 @@
 #ifndef CSM_EXEC_THREAD_POOL_H_
 #define CSM_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -97,6 +98,9 @@ class ThreadPool {
   /// this to reach zero before swapping.  Guarded by mu_.
   size_t obs_users_ = 0;
   std::condition_variable obs_quiesced_cv_;
+  /// Dispatch sequence number fed to the "pool.task" FaultInjector site
+  /// (slow-worker injection; see common/fault_injector.h).
+  std::atomic<uint64_t> task_seq_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
+#include "common/fault_injector.h"
 #include "core/match_engine.h"
 #include "datagen/grades_gen.h"
 #include "datagen/retail_gen.h"
@@ -188,6 +190,63 @@ TEST(MatchEngineTest, GradesEngineMatchesFreeFunction) {
   EXPECT_EQ(free_fn, Fingerprint(engine.Match(data.source, data.target)));
   EXPECT_EQ(free_fn, Fingerprint(engine.Match(data.source, data.target)));
   EXPECT_EQ(engine.session_cache_hits(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation determinism: a run cancelled at a fixed *logical* point (a
+// FaultInjector spec armed on a candidate index) must produce bit-identical
+// partial results at any thread count, because degradation is quantized to
+// fixed chunk boundaries and a started chunk always completes (DESIGN.md
+// "Failure model, deadlines & degradation").
+
+std::string DegradedRunRetail(size_t threads, StatusCode* code,
+                              MatchCompleteness* completeness) {
+  RetailOptions d;
+  d.num_items = 200;
+  d.gamma = 2;
+  d.seed = 1;
+  RetailDataset data = MakeRetailDataset(d);
+  ContextMatchOptions o;
+  // NaiveInfer yields 8 candidate views on this fixture, so index 7 below
+  // is guaranteed to fire during scoring.
+  o.inference = ViewInferenceKind::kNaive;
+  o.early_disjuncts = true;
+  o.omega = 0.05;
+  o.seed = 2;
+  o.threads = threads;
+
+  CancellationToken token;
+  FaultInjector::Arm({.site = "scoring.candidate",
+                      .index = 7,
+                      .action = FaultInjector::Action::kCancel,
+                      .token = &token,
+                      .reason = CancelReason::kDeadline});
+  MatchEngine engine(o);
+  ContextMatchResult r = engine.Match(data.source, data.target, &token);
+  FaultInjector::DisarmAll();
+
+  *code = r.status.code();
+  *completeness = r.completeness;
+  return Fingerprint(r);
+}
+
+TEST(CancellationDeterminismTest, FixedInjectionPointIsThreadCountInvariant) {
+  StatusCode serial_code;
+  MatchCompleteness serial_completeness;
+  const std::string serial =
+      DegradedRunRetail(1, &serial_code, &serial_completeness);
+  EXPECT_EQ(serial_code, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(serial_completeness, MatchCompleteness::kComplete);
+  EXPECT_FALSE(serial.empty());
+
+  for (size_t threads : {2u, 4u}) {
+    StatusCode code;
+    MatchCompleteness completeness;
+    EXPECT_EQ(serial, DegradedRunRetail(threads, &code, &completeness))
+        << "degraded run diverged at threads=" << threads;
+    EXPECT_EQ(code, serial_code);
+    EXPECT_EQ(completeness, serial_completeness);
+  }
 }
 
 TEST(MatchEngineTest, ConjunctiveAndTargetWrappersAgree) {

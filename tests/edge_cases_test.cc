@@ -109,6 +109,74 @@ INSTANTIATE_TEST_SUITE_P(
 
 // --------------------------------------------------- Conjunctive corners
 
+// --------------------------------------- Degenerate-input validation
+//
+// Regression tests for the defensive guards: inputs with nothing to learn
+// from must come back clean and empty, never crash or divide by zero.
+
+using testing::N;
+
+TEST(DegenerateInputTest, EmptyTableYieldsNoFamilies) {
+  Table empty = MakeTable("empty", {"type", "text"}, {});
+  Rng rng(1);
+  EXPECT_TRUE(
+      ClusteredViewGen(empty, SrcFactory(), {}, {}, false, rng).empty());
+}
+
+TEST(DegenerateInputTest, SingleRowTableYieldsNoFamilies) {
+  Table one = MakeTable("one", {"type", "text"}, {{S("book"), S("dune")}});
+  Rng rng(1);
+  EXPECT_TRUE(
+      ClusteredViewGen(one, SrcFactory(), {}, {}, false, rng).empty());
+}
+
+TEST(DegenerateInputTest, AllNullCategoricalColumnYieldsNoFamilies) {
+  // The label column is entirely NULL; even named explicitly as a label
+  // attribute it has no values to partition on.
+  std::vector<Row> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({N(), S(i % 2 == 0 ? "alpha" : "beta")});
+  }
+  Table t = MakeTable("nulls", {"type", "text"}, rows);
+  Rng rng(1);
+  EXPECT_TRUE(ClusteredViewGen(t, SrcFactory(), {}, {}, false, rng,
+                               /*label_attributes=*/{"type"})
+                  .empty());
+}
+
+TEST(DegenerateInputTest, LabelBelowSupportFloorYieldsNoFamilies) {
+  // Every label value occurs exactly once: no value can appear in both the
+  // train and test halves, so no cell can pass the significance gate.
+  std::vector<Row> rows;
+  for (int i = 0; i < 12; ++i) {
+    rows.push_back({S(("label" + std::to_string(i)).c_str()),
+                    S(i % 2 == 0 ? "left text" : "right text")});
+  }
+  Table t = MakeTable("sparse", {"type", "text"}, rows);
+  Rng rng(1);
+  EXPECT_TRUE(ClusteredViewGen(t, SrcFactory(), {}, {}, false, rng,
+                               /*label_attributes=*/{"type"})
+                  .empty());
+}
+
+TEST(DegenerateInputTest, InferenceOnEmptySampleReturnsNoCandidates) {
+  // InferCandidateViews with accepted matches but an empty sample: the new
+  // source_sample guard returns cleanly before touching the grid.
+  ContextMatchOptions options;
+  auto inference = MakeViewInference(ViewInferenceKind::kSrcClass, options);
+  Table empty = MakeTable("empty", {"type", "text"}, {});
+  Match accepted;
+  accepted.source = {"empty", "text"};
+  accepted.target = {"tgt", "title"};
+  accepted.confidence = 0.9;
+  MatchList matches{accepted};
+  InferenceInput input;
+  input.source_sample = &empty;
+  input.matches = &matches;
+  Rng rng(1);
+  EXPECT_TRUE(inference->InferCandidateViews(input, rng).empty());
+}
+
 TEST(ConjunctiveEdgeTest, ExtraStagesAreHarmlessWhenNothingToRefine) {
   RetailOptions d;
   d.num_items = 200;

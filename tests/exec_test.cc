@@ -135,6 +135,91 @@ TEST(ParallelMapTest, SameResultSerialAndParallel) {
   EXPECT_EQ(parallel, serial);
 }
 
+TEST(ParallelForTest, CancelledTokenStopsNewClaims) {
+  // A pre-cancelled token means no iteration is ever claimed.
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<size_t> ran{0};
+  ParallelFor(nullptr, 100, [&](size_t) { ++ran; }, &token);
+  EXPECT_EQ(ran.load(), 0u);
+  ThreadPool pool(4);
+  ParallelFor(&pool, 100, [&](size_t) { ++ran; }, &token);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ParallelForTest, CancellationMidLoopDrains) {
+  // Serial path: cancelling inside iteration 10 stops before iteration 11.
+  CancellationToken token;
+  std::vector<size_t> visited;
+  ParallelFor(
+      nullptr, 100,
+      [&](size_t i) {
+        visited.push_back(i);
+        if (i == 10) token.Cancel();
+      },
+      &token);
+  ASSERT_EQ(visited.size(), 11u);
+  EXPECT_EQ(visited.back(), 10u);
+}
+
+TEST(CancellableChunkedMapTest, NoTokenComputesEverything) {
+  ChunkedMapCut cut;
+  auto out = CancellableChunkedMap(nullptr, 10, 4, nullptr, &cut,
+                                   [](size_t i) { return i * 2; });
+  ASSERT_EQ(out.size(), 10u);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 2);
+  EXPECT_EQ(cut.completed, 10u);
+  EXPECT_FALSE(cut.cancelled);
+}
+
+TEST(CancellableChunkedMapTest, PreCancelledTokenComputesNothing) {
+  CancellationToken token;
+  token.Cancel();
+  ChunkedMapCut cut;
+  auto out = CancellableChunkedMap(nullptr, 10, 4, &token, &cut,
+                                   [](size_t i) { return i; });
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(cut.completed, 0u);
+  EXPECT_TRUE(cut.cancelled);
+}
+
+TEST(CancellableChunkedMapTest, CutLandsOnChunkBoundaryAtAnyThreadCount) {
+  // Cancelling at logical index 10 with chunk 4: the chunk containing 10
+  // (indices 8-11) always completes, the barrier before indices 12-15 sees
+  // the cancellation.  The completed prefix is 12 items — serial or pooled.
+  auto run = [](ThreadPool* pool) {
+    CancellationToken token;
+    ChunkedMapCut cut;
+    auto out = CancellableChunkedMap(pool, 20, 4, &token, &cut, [&](size_t i) {
+      if (i == 10) token.Cancel(CancelReason::kDeadline);
+      return i + 1;
+    });
+    EXPECT_EQ(cut.completed, 12u);
+    EXPECT_TRUE(cut.cancelled);
+    EXPECT_EQ(out.size(), 12u);
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+  };
+  run(nullptr);
+  ThreadPool pool2(2);
+  run(&pool2);
+  ThreadPool pool4(4);
+  run(&pool4);
+}
+
+TEST(CancellableChunkedMapTest, FinalChunkCancellationStillReportsCut) {
+  // The token fires inside the last chunk: the output is complete, but the
+  // caller still learns the run was cancelled (it must degrade).
+  CancellationToken token;
+  ChunkedMapCut cut;
+  auto out = CancellableChunkedMap(nullptr, 8, 4, &token, &cut, [&](size_t i) {
+    if (i == 7) token.Cancel();
+    return i;
+  });
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(cut.completed, 8u);
+  EXPECT_TRUE(cut.cancelled);
+}
+
 TEST(TaskRngTest, StreamsAreIndependentOfEachOther) {
   // Distinct streams from one phase seed produce distinct sequences, and a
   // stream depends only on (phase_seed, index) — not on the other streams.

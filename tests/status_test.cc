@@ -1,0 +1,74 @@
+// Status / StatusOr coverage, including the cancellation-era codes
+// (kDeadlineExceeded, kCancelled) added with the degradation layer.
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace csm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, EveryCodeHasACanonicalSpelling) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.message(), "budget spent");
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: budget spent");
+
+  Status cancelled = Status::Cancelled("caller asked");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller asked");
+
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Cancelled("a"), Status::Cancelled("a"));
+  EXPECT_FALSE(Status::Cancelled("a") == Status::Cancelled("b"));
+  EXPECT_FALSE(Status::Cancelled("a") == Status::DeadlineExceeded("a"));
+  EXPECT_EQ(Status(), Status::Ok());
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> ok_value = 42;
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(*ok_value, 42);
+
+  StatusOr<int> err = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace csm
