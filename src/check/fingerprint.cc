@@ -1,0 +1,42 @@
+#include "check/fingerprint.h"
+
+namespace csm::check {
+
+std::string FingerprintResult(const ContextMatchResult& r) {
+  std::string out;
+  out += "matches:\n";
+  for (const Match& m : r.matches) out += "  " + m.ToString() + "\n";
+  out += "selected_views:\n";
+  for (const View& v : r.selected_views) {
+    out += "  " + v.name() + "|" + v.base_table() + "|" +
+           v.condition().ToString() + "\n";
+  }
+  out += "base_matches:\n";
+  for (const Match& m : r.pool.base_matches) out += "  " + m.ToString() + "\n";
+  out += "view_matches:\n";
+  for (const Match& m : r.pool.view_matches) out += "  " + m.ToString() + "\n";
+  out += "candidate_views:\n";
+  for (const View& v : r.pool.candidate_views) {
+    out += "  " + v.base_table() + "|" + v.condition().ToString() + "\n";
+  }
+  out += "view_row_counts:\n";
+  for (const auto& [key, count] : r.pool.view_row_counts) {
+    out += "  " + key + "=" + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::string FingerprintTable(const Table& table) {
+  std::string out = table.schema().ToString() + "\n";
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += '\x1f';
+      // NULL renders as an unprintable tag a string cell cannot spell.
+      out += row[c].is_null() ? std::string("\x01NULL") : row[c].ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace csm::check

@@ -1,0 +1,33 @@
+// Canonical serializations used by the correctness tooling.
+//
+// FingerprintResult renders everything a ContextMatch run produced —
+// selected matches, selected views, the whole scored pool — into one
+// deterministic text blob.  Two runs are "bit-identical" exactly when their
+// fingerprints compare equal, which is the equality the differential
+// oracles (differential.h), the determinism tests and the golden
+// regression corpus (golden.h) all assert.  Keep it append-only: removing
+// or reordering fields silently weakens every oracle built on it.
+
+#ifndef CSM_CHECK_FINGERPRINT_H_
+#define CSM_CHECK_FINGERPRINT_H_
+
+#include <string>
+
+#include "core/context_match.h"
+#include "relational/table.h"
+
+namespace csm::check {
+
+/// Deterministic text rendering of a run's matches, selected views and
+/// scored pool (status / timing / observability metadata excluded:
+/// fingerprints compare work products, not schedules).
+std::string FingerprintResult(const ContextMatchResult& result);
+
+/// Deterministic text rendering of a table: schema line plus one line per
+/// row (cells separated by an unprintable delimiter so hostile cell
+/// contents cannot collide).  Used in fuzzer failure messages.
+std::string FingerprintTable(const Table& table);
+
+}  // namespace csm::check
+
+#endif  // CSM_CHECK_FINGERPRINT_H_

@@ -1,0 +1,277 @@
+#include "check/fuzz.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/differential.h"
+#include "check/fingerprint.h"
+#include "check/generators.h"
+#include "core/match_engine.h"
+#include "relational/csv.h"
+#include "relational/view.h"
+
+namespace csm::check {
+namespace {
+
+/// Prefixes an oracle failure with the exact replay coordinates.
+Status Replay(const FuzzOptions& options, size_t iteration, Status status) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                "replay: seed=" + std::to_string(options.seed) +
+                    " iteration=" + std::to_string(iteration) + "; " +
+                    status.message());
+}
+
+// --------------------------------------------------------------------- CSV
+
+/// Writer-compatible quoting, duplicated here so the fuzzer can re-render
+/// a table with randomized record terminators (the library writer always
+/// emits "\n").
+std::string QuoteLikeWriter(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+/// Renders `table` as CSV with a random record terminator ("\n", "\r\n" or
+/// a bare "\r") per record; the final record keeps its terminator with
+/// probability 1/2 (both are legal).
+std::string RenderCsvMixedLineEndings(const Table& table, Rng& rng) {
+  const char* kTerminators[] = {"\n", "\r\n", "\r"};
+  std::string out;
+  auto append_record = [&](const std::vector<std::string>& fields,
+                           bool last) {
+    std::string record;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      if (c > 0) record += ',';
+      record += QuoteLikeWriter(fields[c]);
+    }
+    // Match the library writer: a would-be-empty line is written as `""`
+    // so it cannot fuse with a preceding bare-"\r" terminator into "\r\n"
+    // (or vanish as the trailing newline).
+    if (record.empty()) record = "\"\"";
+    out += record;
+    if (!last || rng.NextBounded(2) == 0) {
+      out += kTerminators[rng.NextBounded(3)];
+    }
+  };
+  std::vector<std::string> fields;
+  for (size_t c = 0; c < table.schema().num_attributes(); ++c) {
+    fields.push_back(table.schema().attribute(c).name);
+  }
+  append_record(fields, table.num_rows() == 0);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    fields.clear();
+    for (const Value& v : table.row(r)) fields.push_back(v.ToString());
+    append_record(fields, r + 1 == table.num_rows());
+  }
+  return out;
+}
+
+Status CompareTables(const Table& expected, const Table& actual,
+                     const char* what) {
+  const std::string e = FingerprintTable(expected);
+  const std::string a = FingerprintTable(actual);
+  if (e != a) {
+    return Status::Internal(std::string(what) +
+                            " round trip diverged:\n--- expected ---\n" + e +
+                            "--- actual ---\n" + a);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FuzzCsvRoundTrip(const FuzzOptions& options) {
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng rng(IterationSeed(options.seed, i));
+    const Table table = RandomHostileTable("fuzz", rng);
+
+    // Library writer -> library parser.
+    StatusOr<Table> parsed = TableFromCsv(table.schema(), TableToCsv(table));
+    if (!parsed.ok()) {
+      return Replay(options, i,
+                    Status::Internal("ParseCsv failed on WriteCsv output: " +
+                                     parsed.status().message()));
+    }
+    CSM_RETURN_IF_ERROR(
+        Replay(options, i, CompareTables(table, *parsed, "WriteCsv")));
+
+    // Re-rendered with randomized \n / \r\n / \r record terminators.
+    const std::string mixed = RenderCsvMixedLineEndings(table, rng);
+    parsed = TableFromCsv(table.schema(), mixed);
+    if (!parsed.ok()) {
+      return Replay(options, i,
+                    Status::Internal("ParseCsv failed on mixed-line-ending "
+                                     "rendering: " +
+                                     parsed.status().message()));
+    }
+    CSM_RETURN_IF_ERROR(
+        Replay(options, i, CompareTables(table, *parsed, "mixed-line-ending")));
+  }
+  return Status::Ok();
+}
+
+Status FuzzConditionEvaluation(const FuzzOptions& options) {
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng rng(IterationSeed(options.seed, i));
+    HostileTableOptions table_options;
+    table_options.min_rows = 1;
+    const Table table = RandomHostileTable("fuzz", rng, table_options);
+    const Condition condition = RandomCondition(table, rng);
+    const View view("v", table.name(), condition);
+
+    // Ground truth: independent per-row evaluation.
+    std::vector<size_t> expected_rows;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (condition.Evaluate(table.schema(), table.row(r))) {
+        expected_rows.push_back(r);
+      }
+    }
+
+    if (view.MatchingRows(table) != expected_rows) {
+      return Replay(options, i,
+                    Status::Internal("MatchingRows != per-row Evaluate for " +
+                                     view.ToString()));
+    }
+    const Table materialized = view.Materialize(table);
+    if (materialized.num_rows() != expected_rows.size()) {
+      return Replay(
+          options, i,
+          Status::Internal(
+              "materialized row count " +
+              std::to_string(materialized.num_rows()) + " != " +
+              std::to_string(expected_rows.size()) + " rows satisfying " +
+              condition.ToString()));
+    }
+    for (size_t m = 0; m < expected_rows.size(); ++m) {
+      if (!(materialized.row(m) == table.row(expected_rows[m]))) {
+        return Replay(options, i,
+                      Status::Internal("materialized row " +
+                                       std::to_string(m) +
+                                       " differs from base row " +
+                                       std::to_string(expected_rows[m])));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status FuzzPipeline(const FuzzOptions& options) {
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng rng(IterationSeed(options.seed, i));
+    const DatabasePair pair = RandomDatabasePair(rng);
+
+    ContextMatchOptions o;
+    const ViewInferenceKind kinds[] = {ViewInferenceKind::kNaive,
+                                       ViewInferenceKind::kSrcClass,
+                                       ViewInferenceKind::kTgtClass};
+    o.inference = kinds[rng.NextBounded(3)];
+    o.selection = rng.NextBounded(2) == 0 ? SelectionPolicy::kQualTable
+                                          : SelectionPolicy::kMultiTable;
+    o.early_disjuncts = rng.NextBounded(2) == 0;
+    o.omega = 0.02 + rng.NextDouble() * 0.2;
+    o.tau = 0.4 + rng.NextDouble() * 0.15;
+    o.seed = rng.Next();
+    o.threads = options.thread_counts.empty()
+                    ? 1
+                    : options.thread_counts[rng.NextBounded(
+                          options.thread_counts.size())];
+
+    MatchEngine engine(o);
+    const ContextMatchResult result = engine.Match(pair.source, pair.target);
+    auto fail = [&](const std::string& message) {
+      return Replay(options, i,
+                    Status::Internal(message + " (inference=" +
+                                     ViewInferenceKindToString(o.inference) +
+                                     ", threads=" +
+                                     std::to_string(o.threads) + ")"));
+    };
+    if (!result.status.ok()) {
+      return fail("uncancelled pipeline returned non-OK status " +
+                  result.status.ToString());
+    }
+    if (result.completeness != MatchCompleteness::kComplete) {
+      return fail("uncancelled pipeline claims degraded completeness");
+    }
+    for (const Match& m : result.matches) {
+      if (m.confidence < 0.0 || m.confidence > 1.0) {
+        return fail("selected match confidence out of [0,1]: " +
+                    m.ToString());
+      }
+    }
+    // Selection picks only scored views.
+    std::vector<std::string> candidate_keys;
+    for (const View& v : result.pool.candidate_views) {
+      candidate_keys.push_back(v.base_table() + "\x1d" +
+                               v.condition().ToString());
+    }
+    for (const View& v : result.selected_views) {
+      const std::string key =
+          v.base_table() + "\x1d" + v.condition().ToString();
+      if (std::find(candidate_keys.begin(), candidate_keys.end(), key) ==
+          candidate_keys.end()) {
+        return fail("selected view was never scored: " + v.ToString());
+      }
+    }
+    // Row-count conservation against the source tables.
+    for (const View& v : result.pool.candidate_views) {
+      const Table* base = pair.source.FindTable(v.base_table());
+      if (base == nullptr) {
+        return fail("candidate view over unknown base table " +
+                    v.base_table());
+      }
+      auto it = result.pool.view_row_counts.find(
+          v.base_table() + "\x1d" + v.condition().ToString());
+      if (it != result.pool.view_row_counts.end() &&
+          it->second > base->num_rows()) {
+        return fail("view row count exceeds base table rows for " +
+                    v.ToString());
+      }
+    }
+    // One match per target attribute under multi-table selection.
+    if (o.selection == SelectionPolicy::kMultiTable) {
+      std::vector<std::string> targets;
+      for (const Match& m : result.matches) {
+        const std::string t = m.target.ToString();
+        if (std::find(targets.begin(), targets.end(), t) != targets.end()) {
+          return fail("multi-table selection emitted target twice: " + t);
+        }
+        targets.push_back(t);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status FuzzDifferential(const FuzzOptions& options) {
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng rng(IterationSeed(options.seed, i));
+    const DatabasePair pair = RandomDatabasePair(rng);
+
+    ContextMatchOptions o;
+    const ViewInferenceKind kinds[] = {ViewInferenceKind::kNaive,
+                                       ViewInferenceKind::kSrcClass,
+                                       ViewInferenceKind::kTgtClass};
+    o.inference = kinds[rng.NextBounded(3)];
+    o.selection = rng.NextBounded(2) == 0 ? SelectionPolicy::kQualTable
+                                          : SelectionPolicy::kMultiTable;
+    o.early_disjuncts = rng.NextBounded(2) == 0;
+    o.omega = 0.02 + rng.NextDouble() * 0.2;
+    o.seed = rng.Next();
+    o.threads = 1;
+
+    CSM_RETURN_IF_ERROR(Replay(
+        options, i,
+        CheckAllOracles(pair.source, pair.target, o, options.thread_counts)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace csm::check

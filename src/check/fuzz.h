@@ -1,0 +1,51 @@
+// Deterministic structured fuzzers.
+//
+// Each fuzzer runs `iterations` independent trials; trial i derives its own
+// seed IterationSeed(options.seed, i) (generators.h), so a failure replays
+// exactly by re-running the same fuzzer with the same FuzzOptions — every
+// failure Status embeds "replay: seed=<S> iteration=<I>".  The fuzz_smoke
+// test binary wires these to the CSM_FUZZ_SEED / CSM_FUZZ_ITERS environment
+// knobs; CI runs them with fixed seeds under CSM_CHECKS=ON + ASan, so a
+// violated invariant aborts and a divergence returns a replayable Status.
+//
+//   * FuzzCsvRoundTrip       random hostile tables through
+//                            TableToCsv -> TableFromCsv, plus a re-rendered
+//                            variant with randomized \n / \r\n / \r record
+//                            terminators through the same parser
+//   * FuzzConditionEvaluation random conditions: View::Materialize and
+//                            View::MatchingRows against per-row
+//                            Condition::Evaluate ground truth
+//   * FuzzPipeline           random database pairs through MatchEngine;
+//                            checks result invariants (confidence bounds,
+//                            row-count conservation, selection contracts)
+//   * FuzzDifferential       random database pairs through every
+//                            differential oracle (differential.h) at
+//                            threads 1/2/4
+
+#ifndef CSM_CHECK_FUZZ_H_
+#define CSM_CHECK_FUZZ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csm::check {
+
+struct FuzzOptions {
+  /// Harness seed; trial i uses IterationSeed(seed, i).
+  uint64_t seed = 1;
+  size_t iterations = 100;
+  /// Thread counts the pipeline fuzzers sweep.
+  std::vector<size_t> thread_counts = {1, 2, 4};
+};
+
+Status FuzzCsvRoundTrip(const FuzzOptions& options);
+Status FuzzConditionEvaluation(const FuzzOptions& options);
+Status FuzzPipeline(const FuzzOptions& options);
+Status FuzzDifferential(const FuzzOptions& options);
+
+}  // namespace csm::check
+
+#endif  // CSM_CHECK_FUZZ_H_

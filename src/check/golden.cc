@@ -1,0 +1,205 @@
+#include "check/golden.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "check/fingerprint.h"
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "core/match_engine.h"
+#include "datagen/grades_gen.h"
+#include "datagen/retail_gen.h"
+
+namespace csm::check {
+namespace {
+
+RetailDataset Retail(size_t num_items, size_t gamma, uint64_t seed,
+                     size_t correlated = 0, double rho = 0.0) {
+  RetailOptions d;
+  d.num_items = num_items;
+  d.gamma = gamma;
+  d.seed = seed;
+  d.correlated_attributes = correlated;
+  d.rho = rho;
+  return MakeRetailDataset(d);
+}
+
+std::string RunRetailSrcClassEarly() {
+  RetailDataset data = Retail(120, 2, 1);
+  ContextMatchOptions o;
+  o.inference = ViewInferenceKind::kSrcClass;
+  o.early_disjuncts = true;
+  o.omega = 0.05;
+  o.seed = 2;
+  o.threads = 2;
+  MatchEngine engine(o);
+  return FingerprintResult(engine.Match(data.source, data.target));
+}
+
+std::string RunRetailNaiveMultiTable() {
+  RetailDataset data = Retail(100, 4, 3);
+  ContextMatchOptions o;
+  o.inference = ViewInferenceKind::kNaive;
+  o.selection = SelectionPolicy::kMultiTable;
+  o.omega = 0.1;
+  o.seed = 4;
+  o.threads = 1;
+  MatchEngine engine(o);
+  return FingerprintResult(engine.Match(data.source, data.target));
+}
+
+std::string RunRetailTgtClass() {
+  RetailDataset data = Retail(120, 2, 5);
+  ContextMatchOptions o;
+  o.inference = ViewInferenceKind::kTgtClass;
+  o.omega = 0.05;
+  o.seed = 6;
+  o.threads = 2;
+  MatchEngine engine(o);
+  return FingerprintResult(engine.Match(data.source, data.target));
+}
+
+std::string RunGradesQualTableLate() {
+  GradesOptions d;
+  d.num_students = 100;
+  d.seed = 7;
+  GradesDataset data = MakeGradesDataset(d);
+  ContextMatchOptions o;
+  o.tau = 0.45;
+  o.omega = 0.025;
+  o.early_disjuncts = false;
+  o.seed = 8;
+  o.threads = 2;
+  MatchEngine engine(o);
+  return FingerprintResult(engine.Match(data.source, data.target));
+}
+
+std::string RunRetailConjunctiveTwoStage() {
+  RetailDataset data = Retail(120, 2, 9, /*correlated=*/1, /*rho=*/0.9);
+  ContextMatchOptions o;
+  o.inference = ViewInferenceKind::kSrcClass;
+  o.early_disjuncts = true;
+  o.omega = 0.05;
+  o.seed = 10;
+  o.threads = 2;
+  MatchEngine engine(o);
+  return FingerprintResult(
+      engine.ConjunctiveMatch(data.source, data.target, /*max_stages=*/2));
+}
+
+/// Pins the degradation contract itself: a run cancelled at a fixed
+/// scoring-candidate index must keep producing this exact whole-chunk
+/// prefix (plus status/completeness) at any thread count.
+std::string RunRetailDegradedPrefix() {
+  RetailDataset data = Retail(120, 2, 1);
+  ContextMatchOptions o;
+  o.inference = ViewInferenceKind::kNaive;
+  o.early_disjuncts = true;
+  o.omega = 0.05;
+  o.seed = 2;
+  o.threads = 2;
+  CancellationToken token;
+  FaultInjector::Arm({.site = "scoring.candidate",
+                      .index = 3,
+                      .action = FaultInjector::Action::kCancel,
+                      .token = &token,
+                      .reason = CancelReason::kDeadline});
+  MatchEngine engine(o);
+  ContextMatchResult result = engine.Match(data.source, data.target, &token);
+  FaultInjector::DisarmAll();
+  return "status: " + std::string(StatusCodeToString(result.status.code())) +
+         "\ncompleteness: " +
+         std::string(MatchCompletenessToString(result.completeness)) + "\n" +
+         FingerprintResult(result);
+}
+
+struct GoldenCase {
+  const char* name;
+  std::string (*run)();
+};
+
+constexpr GoldenCase kCases[] = {
+    {"retail_srcclass_early", &RunRetailSrcClassEarly},
+    {"retail_naive_multitable", &RunRetailNaiveMultiTable},
+    {"retail_tgtclass", &RunRetailTgtClass},
+    {"grades_qualtable_late", &RunGradesQualTableLate},
+    {"retail_conjunctive_2stage", &RunRetailConjunctiveTwoStage},
+    {"retail_degraded_prefix", &RunRetailDegradedPrefix},
+};
+
+std::string FirstDiffLine(const std::string& expected,
+                          const std::string& actual) {
+  std::istringstream e(expected);
+  std::istringstream a(actual);
+  std::string eline;
+  std::string aline;
+  size_t line = 0;
+  while (true) {
+    const bool has_e = static_cast<bool>(std::getline(e, eline));
+    const bool has_a = static_cast<bool>(std::getline(a, aline));
+    if (!has_e && !has_a) return "contents equal";
+    ++line;
+    if (!has_e || !has_a || eline != aline) {
+      return "line " + std::to_string(line) + ": golden '" +
+             (has_e ? eline : "<eof>") + "' vs computed '" +
+             (has_a ? aline : "<eof>") + "'";
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> GoldenCaseNames() {
+  std::vector<std::string> names;
+  for (const GoldenCase& c : kCases) names.emplace_back(c.name);
+  return names;
+}
+
+std::string RunGoldenCase(const std::string& name) {
+  for (const GoldenCase& c : kCases) {
+    if (name == c.name) return c.run();
+  }
+  CSM_CHECK(false) << "unknown golden case '" << name << "'";
+  return "";
+}
+
+int RunGoldenCorpus(const std::string& golden_dir, bool update,
+                    std::ostream& out) {
+  int failures = 0;
+  for (const GoldenCase& c : kCases) {
+    const std::string path = golden_dir + "/" + c.name + ".golden";
+    const std::string computed = c.run();
+    if (update) {
+      std::ofstream file(path, std::ios::binary | std::ios::trunc);
+      if (!file) {
+        out << "FAIL  " << c.name << ": cannot write " << path << "\n";
+        ++failures;
+        continue;
+      }
+      file << computed;
+      out << "wrote " << c.name << " (" << computed.size() << " bytes)\n";
+      continue;
+    }
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      out << "FAIL  " << c.name << ": missing " << path
+          << " (run with --update to create)\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string expected = buffer.str();
+    if (expected != computed) {
+      out << "FAIL  " << c.name << ": " << FirstDiffLine(expected, computed)
+          << "\n      (intentional change? re-record with --update and "
+             "review the diff)\n";
+      ++failures;
+      continue;
+    }
+    out << "ok    " << c.name << "\n";
+  }
+  return failures;
+}
+
+}  // namespace csm::check

@@ -1,0 +1,64 @@
+// Internal-consistency invariants, compiled in under -DCSM_CHECKS=ON.
+//
+// CSM_INVARIANT* mirror the always-on CSM_CHECK* macros of common/logging.h
+// but cost nothing in a default build: the condition is parsed, constant-
+// folded against `false` and dead-stripped.  A build configured with
+//   cmake -B build-checks -S . -DCSM_CHECKS=ON
+// turns each one into a fatal CHECK.  They guard pipeline contracts that
+// are too expensive (or too paranoid) to verify on every production call —
+// ContextMatch phase pre/post-conditions, row-count conservation through
+// view materialization, selection's one-match-per-target contract — and
+// back the fuzzers of src/check/fuzz.h, which CI runs under CSM_CHECKS=ON +
+// ASan so a violated invariant aborts the offending iteration loudly.
+//
+// Invariant *setup* that is itself expensive (building an index to check
+// against, re-evaluating a condition per row) should be gated on the
+// constant csm::check::kInvariantsEnabled:
+//
+//   if constexpr (csm::check::kInvariantsEnabled) {
+//     std::set<AttributeRef> seen;
+//     for (const Match& m : result.matches)
+//       CSM_INVARIANT(seen.insert(m.target).second) << m.ToString();
+//   }
+//
+// This header is deliberately header-only with no dependency beyond
+// common/logging.h, so core libraries can plant invariants without linking
+// csm_check (which itself links core).
+
+#ifndef CSM_CHECK_INVARIANTS_H_
+#define CSM_CHECK_INVARIANTS_H_
+
+#include "common/logging.h"
+
+#if defined(CSM_CHECKS)
+#define CSM_INVARIANTS_ENABLED 1
+#else
+#define CSM_INVARIANTS_ENABLED 0
+#endif
+
+namespace csm::check {
+
+/// True in builds configured with -DCSM_CHECKS=ON.
+inline constexpr bool kInvariantsEnabled = CSM_INVARIANTS_ENABLED == 1;
+
+}  // namespace csm::check
+
+#define CSM_INVARIANT(condition)                                         \
+  if (CSM_INVARIANTS_ENABLED && !(condition))                            \
+  ::csm::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)  \
+      .stream()
+
+#define CSM_INVARIANT_EQ(a, b) \
+  CSM_INVARIANT((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_INVARIANT_NE(a, b) \
+  CSM_INVARIANT((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_INVARIANT_LT(a, b) \
+  CSM_INVARIANT((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_INVARIANT_LE(a, b) \
+  CSM_INVARIANT((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_INVARIANT_GT(a, b) \
+  CSM_INVARIANT((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CSM_INVARIANT_GE(a, b) \
+  CSM_INVARIANT((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // CSM_CHECK_INVARIANTS_H_

@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "check/invariants.h"
 #include "common/fault_injector.h"
 #include "common/logging.h"
 #include "exec/parallel.h"
@@ -89,6 +90,13 @@ ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
     std::sort(placebo_rows.begin(), placebo_rows.end());
   }
 
+  // View row-count conservation: a condition can only restrict the sample.
+  CSM_INVARIANT_LE(view_rows.size(), state.sample->num_rows())
+      << candidate.ToString();
+  if (placebo_correction) {
+    CSM_INVARIANT_EQ(placebo_rows.size(), view_rows.size())
+        << candidate.ToString();
+  }
   fragment.view_rows = view_rows.size();
 
   for (const Match& base : *state.accepted) {
@@ -165,8 +173,10 @@ uint64_t FingerprintDatabase(const Database& db) {
 }
 
 /// Bounds the session cache; one entry can hold a full database's score
-/// matrices, so the cap is small and eviction is wholesale (the cache
-/// exists for repeat calls on the same few databases, not as an LRU).
+/// matrices, so the cap is small.  Eviction is least-recently-used, one
+/// entry per insertion: wholesale clearing would thrash to a 0% hit rate
+/// as soon as a caller alternates among kMaxCachedSessionSets + 1 database
+/// pairs, even when most of them are re-touched every cycle.
 constexpr size_t kMaxCachedSessionSets = 8;
 
 /// Degradation quanta: cancellation is only observed at fixed chunk
@@ -257,12 +267,24 @@ MatchEngine::SessionLookup MatchEngine::LookupSessions(
   auto it = session_cache_.find(key);
   if (it != session_cache_.end()) {
     ++cache_hits_;
+    it->second.last_used = ++cache_tick_;
     registry->AddCounter("engine.session_cache_hits");
     return SessionLookup{&it->second, it->second.sessions.size()};
   }
   ++cache_misses_;
   registry->AddCounter("engine.session_cache_misses");
-  if (session_cache_.size() >= kMaxCachedSessionSets) session_cache_.clear();
+  if (session_cache_.size() >= kMaxCachedSessionSets) {
+    // Evict the least-recently-used entry (the cache holds at most 8
+    // entries, so a linear scan over the recency ticks is fine).
+    auto victim = session_cache_.begin();
+    for (auto cand = session_cache_.begin(); cand != session_cache_.end();
+         ++cand) {
+      if (cand->second.last_used < victim->second.last_used) victim = cand;
+    }
+    session_cache_.erase(victim);
+    ++cache_evictions_;
+    registry->AddCounter("engine.session_cache_evictions");
+  }
 
   // Build per-table sessions concurrently in fixed chunks of kSessionChunk
   // tables; `cancel` is consulted only between chunks, so a degraded build
@@ -306,6 +328,7 @@ MatchEngine::SessionLookup MatchEngine::LookupSessions(
     entry.accepted.push_back(std::move(built[i].accepted));
   }
   if (valid == tables.size()) {
+    entry.last_used = ++cache_tick_;
     return SessionLookup{
         &session_cache_.emplace(key, std::move(entry)).first->second, valid};
   }
@@ -390,6 +413,17 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
           result.pool.base_matches.push_back(m);
         }
         registry.AddCounter("base_matches", state.accepted->size());
+      }
+      // Phase-1 post-conditions: the usable prefix never exceeds the source
+      // table count, and every accepted base match is a standard match with
+      // a normalized confidence.
+      CSM_INVARIANT_LE(states.size(), tables.size());
+      if constexpr (check::kInvariantsEnabled) {
+        for (const csm::Match& m : result.pool.base_matches) {
+          CSM_INVARIANT(m.is_standard()) << m.ToString();
+          CSM_INVARIANT_GE(m.confidence, 0.0) << m.ToString();
+          CSM_INVARIANT_LE(m.confidence, 1.0) << m.ToString();
+        }
       }
       registry.AddCounter("source_tables", states.size());
       registry.AddSeconds("standard_match", SecondsSince(start));
@@ -520,6 +554,7 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
         // Merge only the completed prefix; candidates past the cut are
         // neither scored nor recorded (counters stay thread-count
         // independent because the cut lands on a chunk boundary).
+        CSM_INVARIANT_LE(fragments.size(), stage_candidates.size());
         for (size_t i = 0; i < fragments.size(); ++i) {
           ScoredFragment& fragment = fragments[i];
           const View& view = stage_candidates[i].view;
@@ -573,6 +608,28 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
 
     result.matches = std::move(selection.matches);
     result.selected_views = std::move(selection.selected_views);
+
+    // Pipeline post-conditions: selection can only pick views that were
+    // actually scored as candidates, and every recorded view row count is
+    // conserved (bounded by its base table's sample size).
+    if constexpr (check::kInvariantsEnabled) {
+      std::set<std::string> candidate_keys;
+      for (const View& v : result.pool.candidate_views) {
+        candidate_keys.insert(ViewKey(v));
+      }
+      for (const View& v : result.selected_views) {
+        CSM_INVARIANT(candidate_keys.count(ViewKey(v)) == 1) << v.ToString();
+      }
+      for (const SourceState& state : states) {
+        for (const View& v : result.pool.candidate_views) {
+          if (v.base_table() != state.sample->name()) continue;
+          auto rows_it = result.pool.view_row_counts.find(ViewKey(v));
+          if (rows_it == result.pool.view_row_counts.end()) continue;
+          CSM_INVARIANT_LE(rows_it->second, state.sample->num_rows())
+              << v.ToString();
+        }
+      }
+    }
 
     if (!cancelled_phase.empty()) {
       // Completeness: contextual matches present means at least one whole

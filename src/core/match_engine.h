@@ -103,9 +103,11 @@ class MatchEngine {
   size_t threads() const { return threads_; }
 
   /// Session-cache introspection (counts also surface as the
-  /// "engine.session_cache_hits"/"engine.session_cache_misses" counters).
+  /// "engine.session_cache_hits"/"engine.session_cache_misses"/
+  /// "engine.session_cache_evictions" counters).
   uint64_t session_cache_hits() const { return cache_hits_; }
   uint64_t session_cache_misses() const { return cache_misses_; }
+  uint64_t session_cache_evictions() const { return cache_evictions_; }
   void ClearSessionCache() { session_cache_.clear(); }
 
  private:
@@ -115,6 +117,9 @@ class MatchEngine {
   struct SessionCacheEntry {
     std::vector<std::unique_ptr<TableMatchSession>> sessions;
     std::vector<MatchList> accepted;
+    /// Recency tick for LRU eviction: bumped from cache_tick_ on every
+    /// lookup that returns this entry.
+    uint64_t last_used = 0;
   };
 
   /// What LookupSessions handed back: the entry plus how many leading
@@ -151,6 +156,9 @@ class MatchEngine {
   std::map<std::pair<uint64_t, uint64_t>, SessionCacheEntry> session_cache_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  uint64_t cache_evictions_ = 0;
+  /// Monotonic lookup counter feeding SessionCacheEntry::last_used.
+  uint64_t cache_tick_ = 0;
 
   /// Scratch for a cancelled phase-1 build: the completed prefix of
   /// sessions for the *current* call only (overwritten by the next

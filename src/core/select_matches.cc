@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
+#include "check/invariants.h"
 #include "common/logging.h"
 
 namespace csm {
@@ -18,16 +20,29 @@ std::string ViewKey(const Match& match) {
   return ViewKey(match.source.table, match.condition);
 }
 
-/// Finds the base (standard) confidence for the (source, target) attribute
-/// pair of `view_match`; 0 when the pair has no base match.
-double BaseConfidence(const MatchList& base_matches, const Match& view_match) {
-  for (const Match& base : base_matches) {
-    if (base.source == view_match.source && base.target == view_match.target) {
-      return base.confidence;
+/// Confidence of the base (standard) match per (source, target) attribute
+/// pair.  Built once per selection call: probing it per view match keeps
+/// selection O((base + views) log base) instead of the former per-view-match
+/// linear scan over base_matches (O(views x base_matches)).  Insertion keeps
+/// the *first* base match of a pair, matching the old scan's semantics.
+class BaseConfidenceIndex {
+ public:
+  explicit BaseConfidenceIndex(const MatchList& base_matches) {
+    for (const Match& base : base_matches) {
+      index_.try_emplace(std::make_pair(base.source, base.target),
+                         base.confidence);
     }
   }
-  return 0.0;
-}
+
+  /// 0 when the pair has no base match.
+  double Lookup(const Match& view_match) const {
+    auto it = index_.find(std::make_pair(view_match.source, view_match.target));
+    return it == index_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::pair<AttributeRef, AttributeRef>, double> index_;
+};
 
 void SortMatches(MatchList& matches) {
   std::sort(matches.begin(), matches.end(), [](const Match& a, const Match& b) {
@@ -46,8 +61,9 @@ SelectionResult SelectMultiTable(const ScoredPool& pool, double omega) {
   // Candidate set: all base matches, plus view matches that improve their
   // base counterpart by at least omega.
   MatchList eligible = pool.base_matches;
+  const BaseConfidenceIndex base_confidence(pool.base_matches);
   for (const Match& vm : pool.view_matches) {
-    if (vm.confidence >= BaseConfidence(pool.base_matches, vm) + omega) {
+    if (vm.confidence >= base_confidence.Lookup(vm) + omega) {
       eligible.push_back(vm);
     }
   }
@@ -73,6 +89,14 @@ SelectionResult SelectMultiTable(const ScoredPool& pool, double omega) {
     }
   }
   SortMatches(result.matches);
+  // Selection contract: at most one selected match per target attribute.
+  if constexpr (check::kInvariantsEnabled) {
+    std::set<AttributeRef> seen_targets;
+    for (const Match& m : result.matches) {
+      CSM_INVARIANT(seen_targets.insert(m.target).second)
+          << "duplicate target " << m.target.ToString();
+    }
+  }
   return result;
 }
 
@@ -219,6 +243,29 @@ SelectionResult SelectQualTable(const ScoredPool& pool, double omega,
     }
   }
   SortMatches(result.matches);
+  // Selection contract: each target table's matches come from the single
+  // best source table chosen for it, and per target table each selected
+  // view emits at most one match per source attribute (the best_emit
+  // dedup key), re-filtered by tau.
+  if constexpr (check::kInvariantsEnabled) {
+    std::map<std::string, std::string> source_of;
+    std::set<std::string> emitted;
+    for (const Match& m : result.matches) {
+      auto [it, inserted] =
+          source_of.try_emplace(m.target.table, m.source.table);
+      CSM_INVARIANT(inserted || it->second == m.source.table)
+          << "target table " << m.target.table << " mixes source tables "
+          << it->second << " and " << m.source.table;
+      if (m.condition.is_true()) continue;  // base fallback path
+      CSM_INVARIANT(m.confidence >= tau) << m.ToString();
+      CSM_INVARIANT(emitted
+                        .insert(m.target.table + "\x1e" + ViewKey(m) +
+                                "\x1e" + m.source.attribute)
+                        .second)
+          << "duplicate (target table, view, source attribute) emission "
+          << m.ToString();
+    }
+  }
   return result;
 }
 

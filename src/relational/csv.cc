@@ -63,8 +63,12 @@ StatusOr<std::vector<std::string>> ParseRecord(std::string_view text,
       continue;
     }
     if (c == '\r') {
+      // Record terminator: "\r\n" (DOS) or a bare "\r" (classic Mac).
+      // Skipping the "\r" instead would both collapse a CR-only file into a
+      // single record and silently drop an unquoted embedded "\r".
       ++pos;
-      continue;
+      if (pos < text.size() && text[pos] == '\n') ++pos;
+      break;
     }
     if (c == '\n') {
       ++pos;
@@ -95,11 +99,16 @@ std::string TableToCsv(const Table& instance) {
   }
   os << '\n';
   for (const Row& row : instance.rows()) {
+    std::string line;
     for (size_t c = 0; c < row.size(); ++c) {
-      if (c > 0) os << ',';
-      os << QuoteField(row[c].ToString());
+      if (c > 0) line += ',';
+      line += QuoteField(row[c].ToString());
     }
-    os << '\n';
+    // A single-attribute NULL row would render as an empty line, which a
+    // reader cannot tell apart from the file's trailing newline.  Quote it;
+    // "" parses back to one empty field and hence NULL.
+    if (line.empty()) line = "\"\"";
+    os << line << '\n';
   }
   return os.str();
 }

@@ -11,12 +11,19 @@
 
 namespace csm {
 
-/// Serializes `instance` (with a header row) to CSV text.
+/// Serializes `instance` (with a header row) to CSV text.  A row that would
+/// render as a completely empty line (a single-attribute NULL) is written as
+/// `""` so it survives the round trip — an empty line is otherwise
+/// indistinguishable from the file's trailing newline.
 std::string TableToCsv(const Table& instance);
 
 /// Parses CSV text into a table.  The first row must be a header matching
 /// `schema`'s attribute names (order-sensitive); cells are parsed by each
-/// attribute's declared type; empty cells become NULL.
+/// attribute's declared type; empty cells become NULL.  Records end at
+/// "\n", "\r\n" or a bare "\r" (classic Mac), so files with any mix of
+/// line endings parse; CR/LF *inside* a field must be quoted (the writer
+/// always quotes them).  A blank line after the last record is treated as
+/// the file's trailing newline, not a record.
 StatusOr<Table> TableFromCsv(const TableSchema& schema, std::string_view csv);
 
 /// Writes `instance` as CSV to `path`.

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "check/invariants.h"
 #include "common/logging.h"
 
 namespace csm {
@@ -42,7 +43,8 @@ Table View::Materialize(const Table& base_instance) const {
       projected_cols.push_back(base_instance.schema().AttributeIndex(attr_name));
     }
   }
-  for (size_t r : MatchingRows(base_instance)) {
+  const std::vector<size_t> matching = MatchingRows(base_instance);
+  for (size_t r : matching) {
     const Row& src = base_instance.row(r);
     if (projection_.empty()) {
       out.AddRow(src);
@@ -52,6 +54,20 @@ Table View::Materialize(const Table& base_instance) const {
       for (size_t c : projected_cols) projected.push_back(src[c]);
       out.AddRow(std::move(projected));
     }
+  }
+  // Row-count conservation: a select(-project) view emits exactly the rows
+  // its condition accepts, re-derived here per row so a future refactor of
+  // the materialization path cannot silently diverge from Condition::Evaluate.
+  CSM_INVARIANT_EQ(out.num_rows(), matching.size()) << ToString();
+  CSM_INVARIANT_LE(out.num_rows(), base_instance.num_rows()) << ToString();
+  if constexpr (check::kInvariantsEnabled) {
+    size_t satisfied = 0;
+    for (size_t r = 0; r < base_instance.num_rows(); ++r) {
+      if (condition_.Evaluate(base_instance.schema(), base_instance.row(r))) {
+        ++satisfied;
+      }
+    }
+    CSM_INVARIANT_EQ(satisfied, out.num_rows()) << ToString();
   }
   return out;
 }

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <string>
 
 #include "common/random.h"
 #include "common/string_util.h"
@@ -432,6 +434,87 @@ TEST(SelectMatchesTest, QualTableEmitsBestTargetPerSourceAttribute) {
   SelectionResult r = SelectQualTable(pool, 0.15, true, 0.5);
   ASSERT_EQ(r.matches.size(), 1u);
   EXPECT_EQ(r.matches[0].target.attribute, "x");
+}
+
+// Regression for the BaseConfidenceIndex that replaced the per-view-match
+// linear scan over base_matches: on duplicate (source, target) pairs the
+// old scan took the *first* match's confidence, so the index must too.
+TEST(SelectMatchesTest, MultiTableBaseConfidenceKeepsFirstDuplicate) {
+  ScoredPool pool;
+  pool.base_matches.push_back(MkMatch("s", "a", "t", "x", 0.3));
+  pool.base_matches.push_back(MkMatch("s", "a", "t", "x", 0.9));
+  Condition cond = Condition::Equals("k", I(1));
+  pool.view_matches.push_back(MkMatch("s", "a", "t", "x", 0.95, cond));
+  pool.candidate_views.emplace_back("v", "s", cond);
+  // Eligibility gates on the FIRST duplicate (0.3): 0.95 >= 0.3 + 0.1.
+  // Against the second duplicate it would fail (0.95 < 0.9 + 0.1) and the
+  // 0.9 base match would win instead.
+  SelectionResult r = SelectMultiTable(pool, 0.1);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_FALSE(r.matches[0].is_standard());
+  EXPECT_DOUBLE_EQ(r.matches[0].confidence, 0.95);
+  EXPECT_EQ(r.selected_views.size(), 1u);
+}
+
+// Large randomized pool: the indexed selection must emit exactly what the
+// brute-force first-match scan it replaced would have.
+TEST(SelectMatchesTest, MultiTableIndexedSelectionMatchesLinearScan) {
+  const double omega = 0.05;
+  ScoredPool pool;
+  Rng rng(99);
+  // Confidences on a coarse grid so equal-confidence ties actually occur,
+  // and ~1 in 6 base matches is a duplicate pair with a new confidence.
+  auto conf = [&rng] { return rng.NextBounded(21) / 20.0; };
+  std::vector<Condition> conds = {Condition::Equals("k", I(1)),
+                                  Condition::Equals("k", I(2)),
+                                  Condition::Equals("g", I(7))};
+  for (int i = 0; i < 300; ++i) {
+    const std::string st = "s" + std::to_string(rng.NextBounded(4));
+    const std::string sa = "a" + std::to_string(rng.NextBounded(6));
+    const std::string ta = "x" + std::to_string(rng.NextBounded(8));
+    pool.base_matches.push_back(
+        MkMatch(st.c_str(), sa.c_str(), "t", ta.c_str(), conf()));
+    if (rng.NextBounded(6) == 0) {
+      pool.base_matches.push_back(
+          MkMatch(st.c_str(), sa.c_str(), "t", ta.c_str(), conf()));
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::string st = "s" + std::to_string(rng.NextBounded(4));
+    const std::string sa = "a" + std::to_string(rng.NextBounded(6));
+    const std::string ta = "x" + std::to_string(rng.NextBounded(8));
+    pool.view_matches.push_back(MkMatch(st.c_str(), sa.c_str(), "t",
+                                        ta.c_str(), conf(),
+                                        conds[rng.NextBounded(3)]));
+  }
+
+  // Reference: the pre-index algorithm, duplicated verbatim — linear
+  // first-match base-confidence scan, then best-per-target with the same
+  // consideration order (all base matches, then eligible view matches).
+  auto linear_base = [&pool](const Match& vm) {
+    for (const Match& b : pool.base_matches) {
+      if (b.source == vm.source && b.target == vm.target) {
+        return b.confidence;
+      }
+    }
+    return 0.0;
+  };
+  std::map<AttributeRef, const Match*> best;
+  auto consider = [&best](const Match& m) {
+    auto [it, inserted] = best.try_emplace(m.target, &m);
+    if (!inserted && m.confidence > it->second->confidence) it->second = &m;
+  };
+  for (const Match& m : pool.base_matches) consider(m);
+  for (const Match& vm : pool.view_matches) {
+    if (vm.confidence >= linear_base(vm) + omega) consider(vm);
+  }
+  std::multiset<std::string> expected;
+  for (const auto& [target, m] : best) expected.insert(m->ToString());
+
+  SelectionResult r = SelectMultiTable(pool, omega);
+  std::multiset<std::string> actual;
+  for (const Match& m : r.matches) actual.insert(m.ToString());
+  EXPECT_EQ(actual, expected);
 }
 
 TEST(SelectMatchesTest, QualTableTauRefilter) {

@@ -9,39 +9,23 @@
 
 #include <gtest/gtest.h>
 
+#include "check/fingerprint.h"
 #include "common/cancellation.h"
 #include "common/fault_injector.h"
 #include "core/match_engine.h"
 #include "datagen/grades_gen.h"
 #include "datagen/retail_gen.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tests/test_util.h"
 
 namespace csm {
 namespace {
 
-/// Canonical serialization of everything a run produced.
+/// Canonical serialization of everything a run produced — shared with the
+/// differential oracles and the golden corpus (src/check/fingerprint.h).
 std::string Fingerprint(const ContextMatchResult& r) {
-  std::string out;
-  out += "matches:\n";
-  for (const Match& m : r.matches) out += "  " + m.ToString() + "\n";
-  out += "selected_views:\n";
-  for (const View& v : r.selected_views) {
-    out += "  " + v.name() + "|" + v.base_table() + "|" +
-           v.condition().ToString() + "\n";
-  }
-  out += "base_matches:\n";
-  for (const Match& m : r.pool.base_matches) out += "  " + m.ToString() + "\n";
-  out += "view_matches:\n";
-  for (const Match& m : r.pool.view_matches) out += "  " + m.ToString() + "\n";
-  out += "candidate_views:\n";
-  for (const View& v : r.pool.candidate_views) {
-    out += "  " + v.base_table() + "|" + v.condition().ToString() + "\n";
-  }
-  out += "view_row_counts:\n";
-  for (const auto& [key, count] : r.pool.view_row_counts) {
-    out += "  " + key + "=" + std::to_string(count) + "\n";
-  }
-  return out;
+  return check::FingerprintResult(r);
 }
 
 std::string RunRetail(uint64_t data_seed, uint64_t match_seed,
@@ -247,6 +231,60 @@ TEST(CancellationDeterminismTest, FixedInjectionPointIsThreadCountInvariant) {
     EXPECT_EQ(code, serial_code);
     EXPECT_EQ(completeness, serial_completeness);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Session-cache LRU eviction: a ninth distinct (source, target) pair must
+// evict only the least-recently-used entry, not flush the whole cache.  (The
+// cache used to clear() wholesale when full, so a working set one pair
+// larger than capacity thrashed every previously warm entry to a miss.)
+
+Database TinyDatabase(const std::string& name, int salt) {
+  std::vector<Row> rows;
+  for (int r = 0; r < 6; ++r) {
+    rows.push_back({testing::I(salt * 100 + r),
+                    testing::S(r % 2 == 0 ? "alpha" : "beta")});
+  }
+  Database db(name + std::to_string(salt));
+  db.AddTable(testing::MakeTable("items", {"id", "kind"}, rows));
+  return db;
+}
+
+TEST(MatchEngineTest, SessionCacheEvictsLeastRecentlyUsed) {
+  ContextMatchOptions o;
+  o.inference = ViewInferenceKind::kNaive;
+  o.seed = 1;
+  o.threads = 1;
+  MatchEngine engine(o);
+  obs::MetricsRegistry metrics;
+  engine.set_metrics(&metrics);
+
+  const Database target = TinyDatabase("tgt", 999);
+  std::vector<Database> sources;
+  for (int i = 0; i < 9; ++i) sources.push_back(TinyDatabase("src", i));
+
+  // Fill the cache to capacity (kMaxCachedSessionSets = 8 entries), then
+  // touch pairs 1..7 again so pair 0 is the least recently used.
+  for (int i = 0; i < 8; ++i) engine.Match(sources[i], target);
+  EXPECT_EQ(engine.session_cache_misses(), 8u);
+  EXPECT_EQ(engine.session_cache_evictions(), 0u);
+  for (int i = 1; i < 8; ++i) engine.Match(sources[i], target);
+  EXPECT_EQ(engine.session_cache_hits(), 7u);
+
+  // A ninth distinct pair evicts exactly one entry.
+  engine.Match(sources[8], target);
+  EXPECT_EQ(engine.session_cache_evictions(), 1u);
+  EXPECT_EQ(metrics.Counter("engine.session_cache_evictions"), 1u);
+
+  // The seven retouched pairs and the newcomer are all still warm...
+  const uint64_t hits_before = engine.session_cache_hits();
+  for (int i = 1; i < 9; ++i) engine.Match(sources[i], target);
+  EXPECT_EQ(engine.session_cache_hits(), hits_before + 8);
+
+  // ...and pair 0 was the eviction victim.
+  const uint64_t misses_before = engine.session_cache_misses();
+  engine.Match(sources[0], target);
+  EXPECT_EQ(engine.session_cache_misses(), misses_before + 1);
 }
 
 TEST(MatchEngineTest, ConjunctiveAndTargetWrappersAgree) {

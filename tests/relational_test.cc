@@ -583,5 +583,99 @@ TEST(CsvTest, MissingFileErrors) {
             StatusCode::kIoError);
 }
 
+// Regression: ParseRecord used to skip a bare "\r" without terminating the
+// record, so a classic-Mac (CR-only) file collapsed into a single record.
+TEST(CsvTest, BareCarriageReturnTerminatesRecord) {
+  TableSchema schema("t");
+  schema.AddAttribute("a", ValueType::kInt);
+  auto parsed = TableFromCsv(schema, "a\r1\r2\r");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->at(0, "a"), I(1));
+  EXPECT_EQ(parsed->at(1, "a"), I(2));
+}
+
+TEST(CsvTest, MixedLineEndingsParse) {
+  TableSchema schema("t");
+  schema.AddAttribute("a", ValueType::kInt);
+  auto parsed = TableFromCsv(schema, "a\n1\r\n2\r3\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), 3u);
+  EXPECT_EQ(parsed->at(0, "a"), I(1));
+  EXPECT_EQ(parsed->at(1, "a"), I(2));
+  EXPECT_EQ(parsed->at(2, "a"), I(3));
+}
+
+// Regression: an unquoted embedded "\r" used to be silently dropped; it now
+// terminates the record like any other line ending, so the writer's quoting
+// is what preserves it through a round trip.
+TEST(CsvTest, EmbeddedCarriageReturnRoundTrip) {
+  Table t = MakeTable("t", {"text"}, {{S("line\rbreak")}, {S("dos\r\nend")}});
+  auto parsed = TableFromCsv(t.schema(), TableToCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at(0, "text"), S("line\rbreak"));
+  EXPECT_EQ(parsed->at(1, "text"), S("dos\r\nend"));
+}
+
+TEST(CsvTest, Utf8InQuotedFields) {
+  Table t = MakeTable("t", {"text"},
+                      {{S("h\xc3\xa9llo, world")},
+                       {S("\xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e")},
+                       {S("\xf0\x9f\x99\x82 ok")}});
+  auto parsed = TableFromCsv(t.schema(), TableToCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(parsed->row(r), t.row(r));
+  }
+}
+
+TEST(CsvTest, TrailingCommaIsEmptyField) {
+  TableSchema schema("t");
+  schema.AddAttribute("a", ValueType::kInt);
+  schema.AddAttribute("b", ValueType::kString);
+  auto parsed = TableFromCsv(schema, "a,b\n1,\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), 1u);
+  EXPECT_EQ(parsed->at(0, "a"), I(1));
+  EXPECT_TRUE(parsed->at(0, "b").is_null());
+}
+
+TEST(CsvTest, QuotedFieldAtEofWithoutNewline) {
+  TableSchema schema("t");
+  schema.AddAttribute("a", ValueType::kString);
+  auto parsed = TableFromCsv(schema, "a\n\"hi, there\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), 1u);
+  EXPECT_EQ(parsed->at(0, "a"), S("hi, there"));
+}
+
+TEST(CsvTest, EmptyFileRejectedHeaderOnlyAccepted) {
+  TableSchema schema("t");
+  schema.AddAttribute("a", ValueType::kInt);
+  EXPECT_FALSE(TableFromCsv(schema, "").ok());
+  auto header_only = TableFromCsv(schema, "a\n");
+  ASSERT_TRUE(header_only.ok()) << header_only.status().ToString();
+  EXPECT_EQ(header_only->num_rows(), 0u);
+  auto no_newline = TableFromCsv(schema, "a");
+  ASSERT_TRUE(no_newline.ok()) << no_newline.status().ToString();
+  EXPECT_EQ(no_newline->num_rows(), 0u);
+}
+
+// Regression (found by FuzzCsvRoundTrip): a single-attribute NULL row used
+// to serialize as an empty line, indistinguishable from the file's trailing
+// newline, so a trailing NULL row vanished on the round trip.  The writer
+// now emits `""` for such rows.
+TEST(CsvTest, SingleAttributeNullRowsRoundTrip) {
+  Table t = MakeTable("t", {"a"}, {{N()}, {I(1)}, {N()}});
+  const std::string csv = TableToCsv(t);
+  EXPECT_NE(csv.find("\"\""), std::string::npos);
+  auto parsed = TableFromCsv(t.schema(), csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), 3u);
+  EXPECT_TRUE(parsed->at(0, "a").is_null());
+  EXPECT_EQ(parsed->at(1, "a"), I(1));
+  EXPECT_TRUE(parsed->at(2, "a").is_null());
+}
+
 }  // namespace
 }  // namespace csm
