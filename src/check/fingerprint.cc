@@ -27,12 +27,16 @@ std::string FingerprintResult(const ContextMatchResult& r) {
 }
 
 std::string FingerprintTable(const Table& table) {
+  // Reads the column segments directly (no row-cache materialization); the
+  // rendering is byte-identical to the historical row-major loop.
   std::string out = table.schema().ToString() + "\n";
-  for (const Row& row : table.rows()) {
-    for (size_t c = 0; c < row.size(); ++c) {
+  const size_t cols = table.schema().num_attributes();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
       if (c > 0) out += '\x1f';
+      const Value v = table.ValueAt(r, c);
       // NULL renders as an unprintable tag a string cell cannot spell.
-      out += row[c].is_null() ? std::string("\x01NULL") : row[c].ToString();
+      out += v.is_null() ? std::string("\x01NULL") : v.ToString();
     }
     out += '\n';
   }

@@ -9,6 +9,7 @@
 #include "check/generators.h"
 #include "core/match_engine.h"
 #include "relational/csv.h"
+#include "relational/table_view.h"
 #include "relational/view.h"
 
 namespace csm::check {
@@ -244,6 +245,97 @@ Status FuzzPipeline(const FuzzOptions& options) {
           return fail("multi-table selection emitted target twice: " + t);
         }
         targets.push_back(t);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status FuzzRowColumnarEquivalence(const FuzzOptions& options) {
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng rng(IterationSeed(options.seed, i));
+    HostileTableOptions table_options;
+    table_options.min_rows = 1;
+    const Table table = RandomHostileTable("fuzz", rng, table_options);
+    const size_t cols = table.schema().num_attributes();
+
+    // (1) Re-insert every row through the boxed AddRow path; the rebuilt
+    // columnar store must fingerprint bit-identically.
+    Table rebuilt(table.schema());
+    rebuilt.Reserve(table.num_rows());
+    for (size_t r = 0; r < table.num_rows(); ++r) rebuilt.AddRow(table.row(r));
+    CSM_RETURN_IF_ERROR(
+        Replay(options, i, CompareTables(table, rebuilt, "AddRow rebuild")));
+
+    // (2) Columnar cell hashes against boxed Value::Hash (the fingerprint
+    // cache keys depend on this equivalence).
+    for (size_t c = 0; c < cols; ++c) {
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (table.column(c).CellHash(r) !=
+            static_cast<uint64_t>(table.ValueAt(r, c).Hash())) {
+          return Replay(options, i,
+                        Status::Internal(
+                            "CellHash != Value::Hash at row " +
+                            std::to_string(r) + " col " + std::to_string(c)));
+        }
+      }
+    }
+
+    // (3) Dictionary-code condition scan against per-row Evaluate.
+    const Condition condition = RandomCondition(table, rng);
+    PosList expected;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (condition.Evaluate(table.schema(), table.row(r))) {
+        expected.push_back(static_cast<RowId>(r));
+      }
+    }
+    if (condition.MatchingPositions(table) != expected) {
+      return Replay(options, i,
+                    Status::Internal("MatchingPositions != per-row Evaluate "
+                                     "for " +
+                                     condition.ToString()));
+    }
+
+    // (4) Zero-copy view reads and column gather against a row-at-a-time
+    // copy of the matching rows.
+    Table rowpath(table.schema());
+    for (RowId r : expected) rowpath.AddRow(table.row(r));
+    const TableView bound(table, expected);
+    CSM_RETURN_IF_ERROR(Replay(
+        options, i, CompareTables(rowpath, bound.ToTable(), "view gather")));
+    for (size_t vr = 0; vr < bound.num_rows(); ++vr) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (!(bound.ValueAt(vr, c) == rowpath.at(vr, c))) {
+          return Replay(options, i,
+                        Status::Internal(
+                            "TableView::ValueAt != row copy at view row " +
+                            std::to_string(vr) + " col " + std::to_string(c)));
+        }
+      }
+    }
+
+    // (5) ValueBag / ValueCounts through the view against boxed
+    // recomputation from the copied rows.
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& attr = table.schema().attribute(c).name;
+      const std::vector<Value> bag = bound.ValueBag(attr);
+      std::map<Value, size_t> counts;
+      if (bag.size() != rowpath.num_rows()) {
+        return Replay(options, i,
+                      Status::Internal("ValueBag size mismatch on " + attr));
+      }
+      for (size_t vr = 0; vr < bag.size(); ++vr) {
+        if (!(bag[vr] == rowpath.at(vr, c))) {
+          return Replay(options, i,
+                        Status::Internal("ValueBag mismatch on " + attr +
+                                         " at view row " +
+                                         std::to_string(vr)));
+        }
+        if (!bag[vr].is_null()) ++counts[bag[vr]];
+      }
+      if (bound.ValueCounts(attr) != counts) {
+        return Replay(options, i,
+                      Status::Internal("ValueCounts mismatch on " + attr));
       }
     }
   }

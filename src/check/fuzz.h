@@ -21,6 +21,12 @@
 //   * FuzzDifferential       random database pairs through every
 //                            differential oracle (differential.h) at
 //                            threads 1/2/4
+//   * FuzzRowColumnarEquivalence
+//                            random hostile tables: the columnar store's
+//                            typed segments, dictionary codes, CellHash,
+//                            Condition::MatchingPositions and TableView
+//                            gather/reads against boxed row-at-a-time
+//                            ground truth (bit-identical fingerprints)
 
 #ifndef CSM_CHECK_FUZZ_H_
 #define CSM_CHECK_FUZZ_H_
@@ -45,6 +51,7 @@ Status FuzzCsvRoundTrip(const FuzzOptions& options);
 Status FuzzConditionEvaluation(const FuzzOptions& options);
 Status FuzzPipeline(const FuzzOptions& options);
 Status FuzzDifferential(const FuzzOptions& options);
+Status FuzzRowColumnarEquivalence(const FuzzOptions& options);
 
 }  // namespace csm::check
 

@@ -90,7 +90,7 @@ class LabelGrouping {
 };
 
 /// Builds the view family for a grouping of label attribute `l` on `table`.
-ViewFamily FamilyFromGrouping(const Table& table, const std::string& l,
+ViewFamily FamilyFromGrouping(const TableView& table, const std::string& l,
                               const LabelGrouping& grouping) {
   ViewFamily family;
   family.base_table = table.name();
@@ -114,8 +114,12 @@ struct TrainTestOutcome {
   size_t train_count = 0;
 };
 
-/// One doTraining + doTesting cycle for (h, l) under `grouping`.
-TrainTestOutcome RunCycle(const TrainTestSplit& split, size_t h_col,
+/// One doTraining + doTesting cycle for (h, l) under `grouping`.  Reads
+/// both sides through zero-copy views; label-value -> group-token lookups
+/// go through a map built once per cycle (label values are unique across
+/// groups, so this is exactly LabelGrouping::TokenFor, minus the linear
+/// scan per row).
+TrainTestOutcome RunCycle(const TrainTestViewSplit& split, size_t h_col,
                           size_t l_col, const LabelGrouping& grouping,
                           const ClassifierFactory& factory,
                           ValueType h_type) {
@@ -123,15 +127,29 @@ TrainTestOutcome RunCycle(const TrainTestSplit& split, size_t h_col,
   std::unique_ptr<ValueClassifier> classifier = factory(h_type);
   CSM_CHECK(classifier != nullptr);
 
+  std::map<Value, std::string> token_of;
+  for (size_t g = 0; g < grouping.groups().size(); ++g) {
+    const std::string token = grouping.Token(g);
+    for (const Value& member : grouping.groups()[g]) {
+      token_of.emplace(member, token);
+    }
+  }
+  auto token_for = [&token_of](const Value& value) -> const std::string* {
+    auto it = token_of.find(value);
+    return it == token_of.end() ? nullptr : &it->second;
+  };
+
   std::map<std::string, size_t> train_label_counts;
-  for (const Row& row : split.train.rows()) {
-    const Value& h_value = row[h_col];
-    const Value& l_value = row[l_col];
-    if (h_value.is_null() || l_value.is_null()) continue;
-    std::string token = grouping.TokenFor(l_value);
-    if (token.empty()) continue;  // value unseen when grouping was formed
-    classifier->Train(h_value, token);
-    ++train_label_counts[token];
+  const TableView& train = split.train;
+  for (size_t r = 0; r < train.num_rows(); ++r) {
+    const Value l_value = train.ValueAt(r, l_col);
+    if (l_value.is_null()) continue;
+    const Value h_value = train.ValueAt(r, h_col);
+    if (h_value.is_null()) continue;
+    const std::string* token = token_for(l_value);
+    if (token == nullptr) continue;  // value unseen when grouping was formed
+    classifier->Train(h_value, *token);
+    ++train_label_counts[*token];
     ++out.train_count;
   }
   if (out.train_count == 0) return out;
@@ -143,13 +161,15 @@ TrainTestOutcome RunCycle(const TrainTestSplit& split, size_t h_col,
   out.most_common_fraction = static_cast<double>(most_common) /
                              static_cast<double>(out.train_count);
 
-  for (const Row& row : split.test.rows()) {
-    const Value& h_value = row[h_col];
-    const Value& l_value = row[l_col];
-    if (h_value.is_null() || l_value.is_null()) continue;
-    std::string actual = grouping.TokenFor(l_value);
-    if (actual.empty()) continue;
-    out.eval.Observe(actual, classifier->Classify(h_value));
+  const TableView& test = split.test;
+  for (size_t r = 0; r < test.num_rows(); ++r) {
+    const Value l_value = test.ValueAt(r, l_col);
+    if (l_value.is_null()) continue;
+    const Value h_value = test.ValueAt(r, h_col);
+    if (h_value.is_null()) continue;
+    const std::string* actual = token_for(l_value);
+    if (actual == nullptr) continue;
+    out.eval.Observe(*actual, classifier->Classify(h_value));
   }
   return out;
 }
@@ -168,14 +188,14 @@ struct GridCell {
 /// EarlyDisjuncts merge loop for (l, h), emitting every grouping that
 /// passes the significance gate in merge order.  Runs on a worker thread;
 /// everything it touches besides `rng` is shared read-only state.
-std::vector<ViewFamily> RunGridCell(const Table& source_sample,
+std::vector<ViewFamily> RunGridCell(const TableView& source_sample,
                                     const GridCell& cell,
                                     const ClassifierFactory& factory,
                                     const ClusteredViewGenOptions& options,
                                     bool early_disjuncts, Rng& rng) {
   std::vector<ViewFamily> emitted;
-  TrainTestSplit split =
-      SplitTrainTest(source_sample, options.train_fraction, rng);
+  TrainTestViewSplit split =
+      SplitTrainTestView(source_sample, options.train_fraction, rng);
   LabelGrouping grouping(*cell.counts);
 
   // Merge loop: one iteration for LateDisjuncts; repeated error-pair
@@ -246,7 +266,7 @@ std::string FamilyPartitionKey(const ViewFamily& family) {
 }  // namespace
 
 std::vector<ViewFamily> ClusteredViewGen(
-    const Table& source_sample, const ClassifierFactory& factory,
+    const TableView& source_sample, const ClassifierFactory& factory,
     const ClusteredViewGenOptions& options,
     const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
     std::vector<std::string> label_attributes,

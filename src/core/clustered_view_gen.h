@@ -30,6 +30,7 @@
 #include "ml/classifier.h"
 #include "obs/hooks.h"
 #include "relational/table.h"
+#include "relational/table_view.h"
 #include "relational/view.h"
 
 namespace csm {
@@ -40,7 +41,8 @@ namespace csm {
 using ClassifierFactory =
     std::function<std::unique_ptr<ValueClassifier>(ValueType evidence_type)>;
 
-/// Runs ClusteredViewGen over every (h, l) pair of `source_sample` and
+/// Runs ClusteredViewGen over every (h, l) pair of `source_sample` — a
+/// zero-copy TableView (a Table converts implicitly) — and
 /// returns the accepted well-clustered view families, deduplicated by
 /// (label attribute, partition) keeping the most significant evidence.
 ///
@@ -73,7 +75,7 @@ using ClassifierFactory =
 /// max_label_cardinality], and cells whose test side ends up empty (the
 /// significance gate needs test evidence) all emit no families.
 std::vector<ViewFamily> ClusteredViewGen(
-    const Table& source_sample, const ClassifierFactory& factory,
+    const TableView& source_sample, const ClassifierFactory& factory,
     const ClusteredViewGenOptions& options,
     const CategoricalOptions& categorical, bool early_disjuncts, Rng& rng,
     std::vector<std::string> label_attributes = {},

@@ -14,6 +14,7 @@
 #include "match/matchers.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "relational/table_view.h"
 
 namespace csm {
 namespace {
@@ -33,14 +34,14 @@ struct SourceState {
   const MatchList* accepted = nullptr;  // standard matches from this table
 };
 
-/// Values of `attribute` at the given row indices of `sample`.
-std::vector<Value> BagAtRows(const Table& sample,
-                             const std::vector<size_t>& rows,
-                             std::string_view attribute) {
-  size_t col = sample.schema().AttributeIndex(attribute);
+/// Values of `attribute` at the given row positions of `sample`, gathered
+/// straight from the column segment (no row materialization).
+std::vector<Value> BagAtPositions(const Table& sample, const PosList& rows,
+                                  std::string_view attribute) {
+  const Column& col = sample.column(sample.schema().AttributeIndex(attribute));
   std::vector<Value> bag;
   bag.reserve(rows.size());
-  for (size_t r : rows) bag.push_back(sample.row(r)[col]);
+  for (RowId r : rows) bag.push_back(col.GetValue(r));
   return bag;
 }
 
@@ -74,17 +75,14 @@ ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
   std::map<std::string, AttributeSample> samples;
   std::map<std::string, AttributeSample> placebo_samples;
 
-  std::vector<size_t> view_rows;
-  std::vector<size_t> placebo_rows;
-  for (size_t r = 0; r < state.sample->num_rows(); ++r) {
-    if (candidate.condition().Evaluate(state.sample->schema(),
-                                       state.sample->row(r))) {
-      view_rows.push_back(r);
-    }
-  }
+  // Columnar scan: literal-vs-code comparison per row instead of per-row
+  // Evaluate over boxed values.  Positions come back ascending, exactly the
+  // order the row-at-a-time loop produced.
+  PosList view_rows = candidate.condition().MatchingPositions(*state.sample);
+  PosList placebo_rows;
   if (placebo_correction) {
     placebo_rows.resize(state.sample->num_rows());
-    std::iota(placebo_rows.begin(), placebo_rows.end(), 0);
+    std::iota(placebo_rows.begin(), placebo_rows.end(), RowId{0});
     rng.Shuffle(placebo_rows);
     placebo_rows.resize(view_rows.size());
     std::sort(placebo_rows.begin(), placebo_rows.end());
@@ -106,7 +104,8 @@ ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
       it = samples
                .emplace(attr, state.session->MakeRestrictedSample(
                                   attr,
-                                  BagAtRows(*state.sample, view_rows, attr)))
+                                  BagAtPositions(*state.sample, view_rows,
+                                                 attr)))
                .first;
     }
     MatchScore ms =
@@ -119,8 +118,8 @@ ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
         pit = placebo_samples
                   .emplace(attr,
                            state.session->MakeRestrictedSample(
-                               attr, BagAtRows(*state.sample, placebo_rows,
-                                               attr)))
+                               attr, BagAtPositions(*state.sample,
+                                                    placebo_rows, attr)))
                   .first;
       }
       MatchScore placebo =
@@ -165,8 +164,14 @@ uint64_t FingerprintDatabase(const Database& db) {
     h = HashString(h, table.name());
     h = HashString(h, table.schema().ToString());
     h = HashMix(h, table.num_rows());
-    for (const Row& row : table.rows()) {
-      for (const Value& value : row) h = HashMix(h, value.Hash());
+    // Row-major over the column segments: the same hash sequence the old
+    // row-store loop produced (Column::CellHash == Value::Hash), without
+    // boxing a Value per cell.
+    const size_t num_cols = table.schema().num_attributes();
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      for (size_t c = 0; c < num_cols; ++c) {
+        h = HashMix(h, table.column(c).CellHash(r));
+      }
     }
   }
   return h;
@@ -463,19 +468,18 @@ ContextMatchResult MatchEngine::RunPipeline(const Database& source,
           const SourceState& state = states[base.state_index];
           if (state.accepted->empty()) continue;
 
-          // The inference input table: the base table at stage 1, the
-          // materialized view afterwards.
-          Table materialized;
-          const Table* infer_table = state.sample;
+          // The inference input: the whole base table at stage 1, the
+          // stage condition's row positions afterwards — a zero-copy view
+          // over the same sample either way (no materialized table).
+          TableView infer_view(*state.sample);
           if (!base.condition.is_true()) {
-            View stage_view("stage", state.sample->name(), base.condition);
-            materialized = stage_view.Materialize(*state.sample);
-            materialized = materialized.Renamed(state.sample->name());
-            infer_table = &materialized;
+            infer_view = TableView(
+                *state.sample,
+                base.condition.MatchingPositions(*state.sample));
           }
 
           InferenceInput input;
-          input.source_sample = infer_table;
+          input.source_sample = infer_view;
           input.target_sample = &target;
           input.matches = state.accepted;
           input.early_disjuncts = options_.early_disjuncts;

@@ -11,7 +11,8 @@ std::vector<CandidateView> NaiveInfer::InferCandidateViews(
   (void)rng;  // NaiveInfer is deterministic.
   std::vector<CandidateView> out;
   if (input.matches == nullptr || input.matches->empty()) return out;
-  const Table& source = *input.source_sample;
+  if (!input.source_sample.valid()) return out;
+  const TableView& source = input.source_sample;
 
   const auto& excluded = input.excluded_partition_attributes;
   for (const std::string& l : CategoricalAttributes(source, categorical_)) {

@@ -28,7 +28,7 @@ std::vector<CandidateView> CandidatesFromFamilies(
 std::vector<std::string> FilteredLabelAttributes(
     const InferenceInput& input, const CategoricalOptions& categorical) {
   std::vector<std::string> labels =
-      CategoricalAttributes(*input.source_sample, categorical);
+      CategoricalAttributes(input.source_sample, categorical);
   const auto& excluded = input.excluded_partition_attributes;
   std::erase_if(labels, [&](const std::string& name) {
     return std::find(excluded.begin(), excluded.end(), name) != excluded.end();
@@ -39,7 +39,7 @@ std::vector<std::string> FilteredLabelAttributes(
 std::vector<CandidateView> SrcClassInfer::InferCandidateViews(
     const InferenceInput& input, Rng& rng) {
   if (input.matches == nullptr || input.matches->empty()) return {};
-  if (input.source_sample == nullptr || input.source_sample->num_rows() == 0) {
+  if (!input.source_sample.valid() || input.source_sample.num_rows() == 0) {
     return {};
   }
   std::vector<std::string> labels = FilteredLabelAttributes(input, categorical_);
@@ -52,7 +52,7 @@ std::vector<CandidateView> SrcClassInfer::InferCandidateViews(
     return std::make_unique<NaiveBayesClassifier>(/*q=*/3);
   };
   std::vector<ViewFamily> families = ClusteredViewGen(
-      *input.source_sample, factory, clustered_, categorical_,
+      input.source_sample, factory, clustered_, categorical_,
       input.early_disjuncts, rng, std::move(labels), {}, input.pool,
       input.obs, input.cancel);
   return CandidatesFromFamilies(families);

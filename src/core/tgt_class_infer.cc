@@ -100,7 +100,7 @@ std::vector<std::string> TgtTagClassifier::Labels() const {
 std::vector<CandidateView> TgtClassInfer::InferCandidateViews(
     const InferenceInput& input, Rng& rng) {
   if (input.matches == nullptr || input.matches->empty()) return {};
-  if (input.source_sample == nullptr || input.source_sample->num_rows() == 0) {
+  if (!input.source_sample.valid() || input.source_sample.num_rows() == 0) {
     return {};
   }
   CSM_CHECK(input.target_sample != nullptr);
@@ -123,7 +123,7 @@ std::vector<CandidateView> TgtClassInfer::InferCandidateViews(
     return std::make_unique<TgtTagClassifier>(string_tagger);
   };
   std::vector<ViewFamily> families = ClusteredViewGen(
-      *input.source_sample, factory, clustered_, categorical_,
+      input.source_sample, factory, clustered_, categorical_,
       input.early_disjuncts, rng, std::move(labels), {}, input.pool,
       input.obs, input.cancel);
   return CandidatesFromFamilies(families);

@@ -16,14 +16,20 @@
 #include "match/match_types.h"
 #include "obs/hooks.h"
 #include "relational/table.h"
+#include "relational/table_view.h"
 #include "relational/view.h"
 
 namespace csm {
 
 /// Inputs shared by all inference strategies.
 struct InferenceInput {
-  /// Sample of the source table Rs currently being matched.
-  const Table* source_sample = nullptr;
+  /// Sample of the source table Rs currently being matched: a zero-copy
+  /// view over the engine's sample table.  At stage 1 this is the identity
+  /// view; at conjunctive stages >= 2 it is the stage condition's PosList
+  /// over the same base (no materialized copy).  A Table converts
+  /// implicitly, so `input.source_sample = table;` still works; the viewed
+  /// base must outlive the inference call.
+  TableView source_sample;
   /// Sample of the whole target database (used by TgtClassInfer).
   const Database* target_sample = nullptr;
   /// Accepted standard matches from `source_sample` (no conditions are

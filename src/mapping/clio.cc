@@ -16,12 +16,12 @@ SchemaMappingResult BuildSchemaMapping(const Database& source,
   result.constraints = declared;
   result.constraints.Merge(MineConstraints(source, mining));
 
-  // Method (a): mine keys directly on materialized views.
+  // Method (a): mine keys directly on view instances (zero-copy PosList
+  // views over the base table; nothing is materialized).
   for (const View& view : selected_views) {
     const Table* base = source.FindTable(view.base_table());
     if (base == nullptr) continue;
-    Table materialized = view.Materialize(*base);
-    for (Key& key : MineKeys(materialized, mining)) {
+    for (Key& key : MineKeys(view.Bind(*base), mining)) {
       key.relation = view.name();
       result.constraints.Add(std::move(key));
     }

@@ -7,17 +7,18 @@ namespace {
 
 /// True when the projection of `instance` onto `cols` is duplicate-free and
 /// NULL-free.
-bool IsUniqueProjection(const Table& instance,
+bool IsUniqueProjection(const TableView& instance,
                         const std::vector<size_t>& cols) {
   std::set<std::vector<std::string>> seen;
-  for (const Row& row : instance.rows()) {
+  for (size_t r = 0; r < instance.num_rows(); ++r) {
     std::vector<std::string> key;
     key.reserve(cols.size());
     for (size_t c : cols) {
-      if (row[c].is_null()) return false;
+      const Value v = instance.ValueAt(r, c);
+      if (v.is_null()) return false;
       // Type-tagged rendering keeps Int(1) distinct from String("1").
-      key.push_back(std::to_string(static_cast<int>(row[c].type())) + ":" +
-                    row[c].ToString());
+      key.push_back(std::to_string(static_cast<int>(v.type())) + ":" +
+                    v.ToString());
     }
     if (!seen.insert(std::move(key)).second) return false;
   }
@@ -26,7 +27,8 @@ bool IsUniqueProjection(const Table& instance,
 
 }  // namespace
 
-std::vector<Key> MineKeys(const Table& instance, const MiningOptions& options) {
+std::vector<Key> MineKeys(const TableView& instance,
+                          const MiningOptions& options) {
   std::vector<Key> out;
   if (instance.num_rows() == 0) return out;
   const size_t n = instance.schema().num_attributes();

@@ -11,6 +11,7 @@
 
 #include "mapping/constraints.h"
 #include "relational/table.h"
+#include "relational/table_view.h"
 
 namespace csm {
 
@@ -29,8 +30,10 @@ struct MiningOptions {
 
 /// Mines keys of `instance`: attribute sets of size <= max_key_size whose
 /// non-null projections are duplicate-free.  Columns that contain NULLs are
-/// not key candidates.
-std::vector<Key> MineKeys(const Table& instance,
+/// not key candidates.  Takes a zero-copy view so mapping discovery can mine
+/// keys of a view's PosList without materializing it; a Table converts
+/// implicitly.
+std::vector<Key> MineKeys(const TableView& instance,
                           const MiningOptions& options = {});
 
 /// Mines single-attribute foreign keys across `tables`: R2[y] ⊆ R1[x] where

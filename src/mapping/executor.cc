@@ -182,17 +182,9 @@ StatusOr<Table> ExecuteMapping(const MappingQuery& query,
       // (join 3) filter on the referenced side.
       if (edge.filter_attribute.has_value() && incoming == edge.right &&
           instance.schema().HasAttribute(*edge.filter_attribute)) {
-        View filter("f", instance.name(),
-                    Condition::Equals(*edge.filter_attribute,
-                                      edge.filter_value));
-        std::vector<size_t> keep;
-        for (size_t r = 0; r < instance.num_rows(); ++r) {
-          if (filter.condition().Evaluate(instance.schema(),
-                                          instance.row(r))) {
-            keep.push_back(r);
-          }
-        }
-        instance = instance.SelectRows(keep);
+        const Condition filter =
+            Condition::Equals(*edge.filter_attribute, edge.filter_value);
+        instance = instance.SelectRows(filter.MatchingPositions(instance));
       }
       JoinedRows incoming_rows = Wrap(instance, incoming);
 

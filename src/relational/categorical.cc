@@ -2,7 +2,8 @@
 
 namespace csm {
 
-bool IsCategoricalAttribute(const Table& instance, std::string_view attribute,
+bool IsCategoricalAttribute(const TableView& instance,
+                            std::string_view attribute,
                             const CategoricalOptions& options) {
   const std::map<Value, size_t> counts = instance.ValueCounts(attribute);
   if (counts.empty()) return false;
@@ -32,7 +33,7 @@ bool IsCategoricalAttribute(const Table& instance, std::string_view attribute,
 }
 
 std::vector<std::string> CategoricalAttributes(
-    const Table& instance, const CategoricalOptions& options) {
+    const TableView& instance, const CategoricalOptions& options) {
   std::vector<std::string> out;
   for (const auto& attr : instance.schema().attributes()) {
     if (IsCategoricalAttribute(instance, attr.name, options)) {
@@ -43,7 +44,7 @@ std::vector<std::string> CategoricalAttributes(
 }
 
 std::vector<std::string> NonCategoricalAttributes(
-    const Table& instance, const CategoricalOptions& options) {
+    const TableView& instance, const CategoricalOptions& options) {
   std::vector<std::string> out;
   for (const auto& attr : instance.schema().attributes()) {
     if (!IsCategoricalAttribute(instance, attr.name, options)) {

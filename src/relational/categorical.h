@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "relational/table.h"
+#include "relational/table_view.h"
 
 namespace csm {
 
@@ -29,19 +30,21 @@ struct CategoricalOptions {
 };
 
 /// Applies the rule to one attribute of `instance`.  Attributes with no
-/// non-null values are never categorical.
-bool IsCategoricalAttribute(const Table& instance, std::string_view attribute,
+/// non-null values are never categorical.  Accepts a zero-copy TableView;
+/// a Table converts implicitly (identity view).
+bool IsCategoricalAttribute(const TableView& instance,
+                            std::string_view attribute,
                             const CategoricalOptions& options = {});
 
 /// Cat(R): names of the categorical attributes of `instance`, in schema
 /// order.
 std::vector<std::string> CategoricalAttributes(
-    const Table& instance, const CategoricalOptions& options = {});
+    const TableView& instance, const CategoricalOptions& options = {});
 
 /// Names of non-categorical attributes (the h candidates of
 /// ClusteredViewGen), in schema order.
 std::vector<std::string> NonCategoricalAttributes(
-    const Table& instance, const CategoricalOptions& options = {});
+    const TableView& instance, const CategoricalOptions& options = {});
 
 }  // namespace csm
 

@@ -1,0 +1,269 @@
+#include "relational/column.h"
+
+#include <charconv>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace csm {
+
+uint32_t StringDictionary::GetOrAdd(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  CSM_CHECK_LT(values_.size(), static_cast<size_t>(kNullCode))
+      << "string dictionary full";
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.emplace_back(s);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+std::optional<uint32_t> StringDictionary::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& StringDictionary::value(uint32_t code) const {
+  CSM_CHECK_LT(code, values_.size());
+  return values_[code];
+}
+
+Column::Column(ValueType type) : type_(type) {
+  if (type_ == ValueType::kString) {
+    dict_ = std::make_shared<StringDictionary>();
+  }
+}
+
+bool Column::IsNull(size_t i) const {
+  CSM_CHECK_LT(i, size_);
+  if (type_ == ValueType::kString) return codes_[i] == kNullCode;
+  return nulls_[i] != 0;
+}
+
+Value Column::GetValue(size_t i) const {
+  CSM_CHECK_LT(i, size_);
+  switch (type_) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt:
+      return nulls_[i] ? Value::Null() : Value::Int(ints_[i]);
+    case ValueType::kReal:
+      return nulls_[i] ? Value::Null() : Value::Real(reals_[i]);
+    case ValueType::kString:
+      return codes_[i] == kNullCode ? Value::Null()
+                                    : Value::String(dict_->value(codes_[i]));
+  }
+  return Value::Null();
+}
+
+uint64_t Column::CellHash(size_t i) const {
+  CSM_CHECK_LT(i, size_);
+  // Must stay formula-identical to Value::Hash() — the differential fuzzer
+  // and the engine's sample-fingerprint cache keys both depend on it.
+  constexpr uint64_t kNullHash = 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case ValueType::kNull:
+      return kNullHash;
+    case ValueType::kInt:
+      return nulls_[i] ? kNullHash : std::hash<int64_t>{}(ints_[i]) * 3 + 1;
+    case ValueType::kReal:
+      return nulls_[i] ? kNullHash : std::hash<double>{}(reals_[i]) * 3 + 2;
+    case ValueType::kString:
+      return codes_[i] == kNullCode
+                 ? kNullHash
+                 : std::hash<std::string>{}(dict_->value(codes_[i])) * 3;
+  }
+  return 0;
+}
+
+void Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  CSM_CHECK(v.type() == type_)
+      << "column type mismatch: expected " << ValueTypeToString(type_)
+      << ", got " << ValueTypeToString(v.type());
+  switch (type_) {
+    case ValueType::kNull:
+      break;  // unreachable: non-null v never has type kNull
+    case ValueType::kInt:
+      ints_.push_back(v.AsInt());
+      nulls_.push_back(0);
+      break;
+    case ValueType::kReal:
+      reals_.push_back(v.AsReal());
+      nulls_.push_back(0);
+      break;
+    case ValueType::kString:
+      EnsureOwnDictionary();
+      codes_.push_back(dict_->GetOrAdd(v.AsString()));
+      break;
+  }
+  ++size_;
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case ValueType::kNull:
+      nulls_.push_back(1);
+      break;
+    case ValueType::kInt:
+      ints_.push_back(0);
+      nulls_.push_back(1);
+      break;
+    case ValueType::kReal:
+      reals_.push_back(0.0);
+      nulls_.push_back(1);
+      break;
+    case ValueType::kString:
+      codes_.push_back(kNullCode);
+      break;
+  }
+  ++size_;
+}
+
+Status Column::AppendParsed(std::string_view text) {
+  // Mirrors Value::Parse exactly: trimmed-empty cells are NULL, numeric
+  // cells must consume the whole trimmed text, string cells keep the
+  // untrimmed original.
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    AppendNull();
+    return Status::Ok();
+  }
+  switch (type_) {
+    case ValueType::kNull:
+      AppendNull();
+      return Status::Ok();
+    case ValueType::kInt: {
+      int64_t out = 0;
+      auto [ptr, ec] =
+          std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), out);
+      if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+        return Status::InvalidArgument("cannot parse int: '" +
+                                       std::string(trimmed) + "'");
+      }
+      ints_.push_back(out);
+      nulls_.push_back(0);
+      ++size_;
+      return Status::Ok();
+    }
+    case ValueType::kReal: {
+      double out = 0;
+      auto [ptr, ec] =
+          std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), out);
+      if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+        return Status::InvalidArgument("cannot parse real: '" +
+                                       std::string(trimmed) + "'");
+      }
+      reals_.push_back(out);
+      nulls_.push_back(0);
+      ++size_;
+      return Status::Ok();
+    }
+    case ValueType::kString:
+      EnsureOwnDictionary();
+      codes_.push_back(dict_->GetOrAdd(text));
+      ++size_;
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown value type");
+}
+
+void Column::PopBack() {
+  CSM_CHECK_GT(size_, 0u);
+  switch (type_) {
+    case ValueType::kNull:
+      nulls_.pop_back();
+      break;
+    case ValueType::kInt:
+      ints_.pop_back();
+      nulls_.pop_back();
+      break;
+    case ValueType::kReal:
+      reals_.pop_back();
+      nulls_.pop_back();
+      break;
+    case ValueType::kString:
+      codes_.pop_back();
+      break;
+  }
+  --size_;
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case ValueType::kNull:
+      nulls_.reserve(n);
+      break;
+    case ValueType::kInt:
+      ints_.reserve(n);
+      nulls_.reserve(n);
+      break;
+    case ValueType::kReal:
+      reals_.reserve(n);
+      nulls_.reserve(n);
+      break;
+    case ValueType::kString:
+      codes_.reserve(n);
+      break;
+  }
+}
+
+Column Column::Gather(const PosList& positions) const {
+  Column out(type_);
+  out.size_ = positions.size();
+  switch (type_) {
+    case ValueType::kNull:
+      out.nulls_.assign(positions.size(), 1);
+      break;
+    case ValueType::kInt:
+      out.ints_.reserve(positions.size());
+      out.nulls_.reserve(positions.size());
+      for (RowId p : positions) {
+        CSM_CHECK_LT(p, size_);
+        out.ints_.push_back(ints_[p]);
+        out.nulls_.push_back(nulls_[p]);
+      }
+      break;
+    case ValueType::kReal:
+      out.reals_.reserve(positions.size());
+      out.nulls_.reserve(positions.size());
+      for (RowId p : positions) {
+        CSM_CHECK_LT(p, size_);
+        out.reals_.push_back(reals_[p]);
+        out.nulls_.push_back(nulls_[p]);
+      }
+      break;
+    case ValueType::kString:
+      out.codes_.reserve(positions.size());
+      for (RowId p : positions) {
+        CSM_CHECK_LT(p, size_);
+        out.codes_.push_back(codes_[p]);
+      }
+      // Share the encoding; a later Append to either column clones first.
+      out.dict_ = dict_;
+      break;
+  }
+  return out;
+}
+
+const StringDictionary& Column::dictionary() const {
+  CSM_CHECK(type_ == ValueType::kString) << "not a string column";
+  return *dict_;
+}
+
+std::optional<uint32_t> Column::CodeFor(std::string_view s) const {
+  if (type_ != ValueType::kString) return std::nullopt;
+  return dict_->Find(s);
+}
+
+void Column::EnsureOwnDictionary() {
+  if (dict_.use_count() > 1) {
+    dict_ = std::make_shared<StringDictionary>(*dict_);
+  }
+}
+
+}  // namespace csm

@@ -1,10 +1,74 @@
 #include "relational/condition.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.h"
 
 namespace csm {
+
+namespace {
+
+/// One clause translated against a concrete column: the subset of the
+/// clause's literals that could possibly equal a cell of the column's type,
+/// as raw typed values (dictionary codes for strings).  Sorted for
+/// binary_search; usually a handful of entries.
+struct CompiledClause {
+  const Column* col = nullptr;
+  std::vector<int64_t> ints;
+  std::vector<double> reals;
+  std::vector<uint32_t> codes;
+
+  bool Matches(RowId p) const {
+    switch (col->type()) {
+      case ValueType::kNull:
+        return false;  // every cell is NULL; NULL never matches
+      case ValueType::kInt:
+        return !col->null_mask()[p] &&
+               std::binary_search(ints.begin(), ints.end(), col->ints()[p]);
+      case ValueType::kReal:
+        return !col->null_mask()[p] &&
+               std::binary_search(reals.begin(), reals.end(), col->reals()[p]);
+      case ValueType::kString: {
+        const uint32_t code = col->codes()[p];
+        return code != kNullCode &&
+               std::binary_search(codes.begin(), codes.end(), code);
+      }
+    }
+    return false;
+  }
+};
+
+CompiledClause CompileClause(const ConditionClause& clause, const Column& col) {
+  CompiledClause out;
+  out.col = &col;
+  for (const Value& v : clause.values) {
+    switch (col.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+        if (v.type() == ValueType::kInt) out.ints.push_back(v.AsInt());
+        break;
+      case ValueType::kReal:
+        if (v.type() == ValueType::kReal) out.reals.push_back(v.AsReal());
+        break;
+      case ValueType::kString:
+        if (v.type() == ValueType::kString) {
+          // A literal the dictionary never saw cannot match any cell.
+          if (auto code = col.CodeFor(v.AsString())) {
+            out.codes.push_back(*code);
+          }
+        }
+        break;
+    }
+  }
+  std::sort(out.ints.begin(), out.ints.end());
+  std::sort(out.reals.begin(), out.reals.end());
+  std::sort(out.codes.begin(), out.codes.end());
+  return out;
+}
+
+}  // namespace
 
 void ConditionClause::Normalize() {
   std::sort(values.begin(), values.end());
@@ -83,6 +147,32 @@ bool Condition::Evaluate(const TableSchema& schema, const Row& row) const {
     if (!clause.Matches(row[col])) return false;
   }
   return true;
+}
+
+PosList Condition::MatchingPositions(const Table& instance) const {
+  const size_t n = instance.num_rows();
+  PosList out;
+  if (clauses_.empty()) {
+    out.resize(n);
+    std::iota(out.begin(), out.end(), RowId{0});
+    return out;
+  }
+  std::vector<CompiledClause> compiled;
+  compiled.reserve(clauses_.size());
+  for (const auto& clause : clauses_) {
+    const size_t col = instance.schema().AttributeIndex(clause.attribute);
+    compiled.push_back(CompileClause(clause, instance.column(col)));
+  }
+  for (RowId p = 0; p < n; ++p) {
+    if (compiled[0].Matches(p)) out.push_back(p);
+  }
+  for (size_t k = 1; k < compiled.size() && !out.empty(); ++k) {
+    const CompiledClause& cc = compiled[k];
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&cc](RowId p) { return !cc.Matches(p); }),
+              out.end());
+  }
+  return out;
 }
 
 std::string Condition::ToString() const {

@@ -79,6 +79,15 @@ class Condition {
   /// match.  CHECK-fails if a mentioned attribute is absent from `schema`.
   bool Evaluate(const TableSchema& schema, const Row& row) const;
 
+  /// Row positions of `instance` satisfying the condition, in ascending
+  /// order — the columnar equivalent of evaluating every row.  Clause
+  /// literals are translated once per scan (string literals to dictionary
+  /// codes, numeric literals to typed sets), so the per-row work is an
+  /// integer comparison.  Matches Evaluate() cell for cell: NULL never
+  /// matches and a literal of a different type than the column cannot match.
+  /// CHECK-fails if a mentioned attribute is absent from the schema.
+  PosList MatchingPositions(const Table& instance) const;
+
   /// SQL-ish rendering: "true", "type = 1", "type in {1, 3} and fiction = 0".
   std::string ToString() const;
 

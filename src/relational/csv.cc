@@ -88,6 +88,18 @@ StatusOr<std::vector<std::string>> ParseRecord(std::string_view text,
   return fields;
 }
 
+/// Upper-bound estimate of the number of records from `pos` to the end:
+/// one per newline plus a possible unterminated last record.  Quoted
+/// embedded newlines make this an overcount, which is fine for a
+/// reservation hint.
+size_t EstimateRecords(std::string_view text, size_t pos) {
+  if (pos >= text.size()) return 0;
+  return static_cast<size_t>(
+             std::count(text.begin() + static_cast<ptrdiff_t>(pos), text.end(),
+                        '\n')) +
+         1;
+}
+
 }  // namespace
 
 std::string TableToCsv(const Table& instance) {
@@ -129,6 +141,7 @@ StatusOr<Table> TableFromCsv(const TableSchema& schema, std::string_view csv) {
     }
   }
   Table out(schema);
+  out.Reserve(EstimateRecords(csv, pos));
   while (pos < csv.size()) {
     CSM_ASSIGN_OR_RETURN(std::vector<std::string> fields,
                          ParseRecord(csv, pos));
@@ -137,14 +150,9 @@ StatusOr<Table> TableFromCsv(const TableSchema& schema, std::string_view csv) {
       return Status::InvalidArgument("CSV record arity mismatch in table '" +
                                      schema.name() + "'");
     }
-    Row row;
-    row.reserve(fields.size());
-    for (size_t c = 0; c < fields.size(); ++c) {
-      CSM_ASSIGN_OR_RETURN(
-          Value v, Value::Parse(fields[c], schema.attribute(c).type));
-      row.push_back(std::move(v));
-    }
-    out.AddRow(std::move(row));
+    // Parse straight into the column segments (dictionary codes for string
+    // attributes) instead of boxing a Value per cell.
+    CSM_RETURN_IF_ERROR(out.AddRowFromText(fields));
   }
   return out;
 }
@@ -212,15 +220,9 @@ StatusOr<Table> TableFromCsvInferred(const std::string& table_name,
   }
 
   Table out(schema);
+  out.Reserve(records.size());
   for (const auto& record : records) {
-    Row row;
-    row.reserve(record.size());
-    for (size_t c = 0; c < record.size(); ++c) {
-      CSM_ASSIGN_OR_RETURN(
-          Value v, Value::Parse(record[c], schema.attribute(c).type));
-      row.push_back(std::move(v));
-    }
-    out.AddRow(std::move(row));
+    CSM_RETURN_IF_ERROR(out.AddRowFromText(record));
   }
   return out;
 }

@@ -6,34 +6,49 @@
 #include "common/logging.h"
 
 namespace csm {
+namespace {
 
-TrainTestSplit SplitTrainTest(const Table& instance, double train_fraction,
-                              Rng& rng) {
+/// Shared index selection: shuffles 0..n-1, clamps the train size, and
+/// returns both sides sorted ascending.  Both split flavors call this so
+/// their row selection is draw-for-draw identical.
+std::pair<PosList, PosList> SplitPositions(size_t n, double train_fraction,
+                                           Rng& rng) {
   CSM_CHECK_GE(train_fraction, 0.0);
   CSM_CHECK_LE(train_fraction, 1.0);
-  const size_t n = instance.num_rows();
-  std::vector<size_t> indices(n);
-  std::iota(indices.begin(), indices.end(), 0);
+  PosList indices(n);
+  std::iota(indices.begin(), indices.end(), RowId{0});
   rng.Shuffle(indices);
 
-  size_t train_size = static_cast<size_t>(
-      train_fraction * static_cast<double>(n) + 0.5);
+  size_t train_size =
+      static_cast<size_t>(train_fraction * static_cast<double>(n) + 0.5);
   if (n >= 2) {
     train_size = std::clamp<size_t>(train_size, 1, n - 1);
   } else {
     train_size = n;
   }
 
-  std::vector<size_t> train_indices(indices.begin(),
-                                    indices.begin() + train_size);
-  std::vector<size_t> test_indices(indices.begin() + train_size,
-                                   indices.end());
+  PosList train(indices.begin(), indices.begin() + train_size);
+  PosList test(indices.begin() + train_size, indices.end());
   // Preserve original row order within each side for determinism of
   // downstream order-sensitive consumers.
-  std::sort(train_indices.begin(), train_indices.end());
-  std::sort(test_indices.begin(), test_indices.end());
-  return TrainTestSplit{instance.SelectRows(train_indices),
-                        instance.SelectRows(test_indices)};
+  std::sort(train.begin(), train.end());
+  std::sort(test.begin(), test.end());
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace
+
+TrainTestSplit SplitTrainTest(const Table& instance, double train_fraction,
+                              Rng& rng) {
+  auto [train, test] = SplitPositions(instance.num_rows(), train_fraction, rng);
+  return TrainTestSplit{instance.SelectRows(train), instance.SelectRows(test)};
+}
+
+TrainTestViewSplit SplitTrainTestView(const TableView& instance,
+                                      double train_fraction, Rng& rng) {
+  auto [train, test] = SplitPositions(instance.num_rows(), train_fraction, rng);
+  return TrainTestViewSplit{instance.Select(std::move(train)),
+                            instance.Select(std::move(test))};
 }
 
 Table SampleRows(const Table& instance, size_t sample_size, Rng& rng) {

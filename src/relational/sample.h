@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "relational/table.h"
+#include "relational/table_view.h"
 
 namespace csm {
 
@@ -18,11 +19,24 @@ struct TrainTestSplit {
   Table test;
 };
 
+/// A zero-copy train/test split: two position-list views over the same base
+/// table.  Row selection is identical to SplitTrainTest for the same rng
+/// state (same shuffle sequence, same clamping, same ascending order).
+struct TrainTestViewSplit {
+  TableView train;
+  TableView test;
+};
+
 /// Randomly partitions `instance` rows into train/test with `train_fraction`
 /// of rows (rounded, at least 1 of each when the table has >= 2 rows) going
 /// to train.  Deterministic given `rng`.
 TrainTestSplit SplitTrainTest(const Table& instance, double train_fraction,
                               Rng& rng);
+
+/// View-based variant of SplitTrainTest: no rows are copied.  `instance`'s
+/// base table must outlive the returned views.
+TrainTestViewSplit SplitTrainTestView(const TableView& instance,
+                                      double train_fraction, Rng& rng);
 
 /// Uniformly samples `sample_size` rows without replacement (all rows when
 /// sample_size >= num_rows).  Order of kept rows is preserved.

@@ -22,43 +22,42 @@ TableSchema View::ViewSchema(const TableSchema& base_schema) const {
   return out;
 }
 
-std::vector<size_t> View::MatchingRows(const Table& base_instance) const {
+PosList View::Positions(const Table& base_instance) const {
   CSM_CHECK_EQ(base_instance.name(), base_table_);
-  std::vector<size_t> out;
-  for (size_t r = 0; r < base_instance.num_rows(); ++r) {
-    if (condition_.Evaluate(base_instance.schema(), base_instance.row(r))) {
-      out.push_back(r);
+  return condition_.MatchingPositions(base_instance);
+}
+
+std::vector<size_t> View::MatchingRows(const Table& base_instance) const {
+  const PosList positions = Positions(base_instance);
+  return std::vector<size_t>(positions.begin(), positions.end());
+}
+
+TableView View::Bind(const Table& base_instance) const {
+  PosList positions = Positions(base_instance);
+  TableSchema view_schema = ViewSchema(base_instance.schema());
+  std::vector<size_t> column_map;
+  column_map.reserve(view_schema.num_attributes());
+  if (projection_.empty()) {
+    for (size_t c = 0; c < view_schema.num_attributes(); ++c) {
+      column_map.push_back(c);
+    }
+  } else {
+    for (const auto& attr_name : projection_) {
+      column_map.push_back(base_instance.schema().AttributeIndex(attr_name));
     }
   }
-  return out;
+  return TableView(base_instance, std::move(positions), std::move(view_schema),
+                   std::move(column_map));
 }
 
 Table View::Materialize(const Table& base_instance) const {
-  CSM_CHECK_EQ(base_instance.name(), base_table_);
-  TableSchema view_schema = ViewSchema(base_instance.schema());
-  Table out(view_schema);
-  std::vector<size_t> projected_cols;
-  if (!projection_.empty()) {
-    for (const auto& attr_name : projection_) {
-      projected_cols.push_back(base_instance.schema().AttributeIndex(attr_name));
-    }
-  }
-  const std::vector<size_t> matching = MatchingRows(base_instance);
-  for (size_t r : matching) {
-    const Row& src = base_instance.row(r);
-    if (projection_.empty()) {
-      out.AddRow(src);
-    } else {
-      Row projected;
-      projected.reserve(projected_cols.size());
-      for (size_t c : projected_cols) projected.push_back(src[c]);
-      out.AddRow(std::move(projected));
-    }
-  }
+  TableView bound = Bind(base_instance);
+  Table out = bound.ToTable();
   // Row-count conservation: a select(-project) view emits exactly the rows
-  // its condition accepts, re-derived here per row so a future refactor of
-  // the materialization path cannot silently diverge from Condition::Evaluate.
-  CSM_INVARIANT_EQ(out.num_rows(), matching.size()) << ToString();
+  // its condition accepts.  Under checks the count is re-derived via the
+  // legacy row-at-a-time Condition::Evaluate, so the columnar scan path
+  // cannot silently diverge from the row-store semantics.
+  CSM_INVARIANT_EQ(out.num_rows(), bound.num_rows()) << ToString();
   CSM_INVARIANT_LE(out.num_rows(), base_instance.num_rows()) << ToString();
   if constexpr (check::kInvariantsEnabled) {
     size_t satisfied = 0;

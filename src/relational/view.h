@@ -16,6 +16,7 @@
 
 #include "relational/condition.h"
 #include "relational/table.h"
+#include "relational/table_view.h"
 
 namespace csm {
 
@@ -52,6 +53,15 @@ class View {
   /// Evaluates the view against an instance of its base table (whose name
   /// must match base_table(); CHECK-enforced).
   Table Materialize(const Table& base_instance) const;
+
+  /// Binds the view to an instance without copying: the result is a
+  /// TableView (PosList + projection map) over `base_instance`, carrying
+  /// the view's schema.  `base_instance` must outlive the returned view.
+  TableView Bind(const Table& base_instance) const;
+
+  /// Row positions of `base_instance` satisfying the condition (columnar
+  /// scan; ascending).
+  PosList Positions(const Table& base_instance) const;
 
   /// Row indices of `base_instance` satisfying the condition.
   std::vector<size_t> MatchingRows(const Table& base_instance) const;

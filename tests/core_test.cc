@@ -173,7 +173,7 @@ TEST(NaiveInferTest, EmitsEveryValueOfEveryCategoricalAttribute) {
   NaiveInfer infer({}, 12, 50);
   MatchList matches(1);  // non-empty: inference must run
   InferenceInput input;
-  input.source_sample = &t;
+  input.source_sample = t;
   input.matches = &matches;
   Rng rng(16);
   auto candidates = infer.InferCandidateViews(input, rng);
@@ -193,7 +193,7 @@ TEST(NaiveInferTest, NoMatchesMeansNoCandidates) {
   NaiveInfer infer({}, 12, 50);
   MatchList empty;
   InferenceInput input;
-  input.source_sample = &t;
+  input.source_sample = t;
   input.matches = &empty;
   Rng rng(18);
   EXPECT_TRUE(infer.InferCandidateViews(input, rng).empty());
@@ -210,7 +210,7 @@ TEST(NaiveInferTest, EarlyDisjunctsEnumerateSubsets) {
   NaiveInfer infer({}, 12, 50);
   MatchList matches(1);
   InferenceInput input;
-  input.source_sample = &t;
+  input.source_sample = t;
   input.matches = &matches;
   input.early_disjuncts = true;
   Rng rng(19);
@@ -227,7 +227,7 @@ TEST(NaiveInferTest, DisjunctLimitGuardsExponentialBlowup) {
   NaiveInfer limited({}, /*disjunct_limit=*/4, 50);
   MatchList matches(1);
   InferenceInput input;
-  input.source_sample = &t;
+  input.source_sample = t;
   input.matches = &matches;
   input.early_disjuncts = true;
   Rng rng(20);
@@ -240,7 +240,7 @@ TEST(NaiveInferTest, ExcludedAttributesSkipped) {
   NaiveInfer infer({}, 12, 50);
   MatchList matches(1);
   InferenceInput input;
-  input.source_sample = &t;
+  input.source_sample = t;
   input.matches = &matches;
   input.excluded_partition_attributes = {"type"};
   Rng rng(22);
@@ -257,7 +257,7 @@ TEST(SrcClassInferTest, ProposesOnlyInformativeFamilies) {
   SrcClassInfer infer({}, {});
   MatchList matches(1);
   InferenceInput input;
-  input.source_sample = &t;
+  input.source_sample = t;
   input.target_sample = &target;
   input.matches = &matches;
   Rng rng(24);

@@ -171,7 +171,7 @@ TEST(DegenerateInputTest, InferenceOnEmptySampleReturnsNoCandidates) {
   accepted.confidence = 0.9;
   MatchList matches{accepted};
   InferenceInput input;
-  input.source_sample = &empty;
+  input.source_sample = empty;
   input.matches = &matches;
   Rng rng(1);
   EXPECT_TRUE(inference->InferCandidateViews(input, rng).empty());

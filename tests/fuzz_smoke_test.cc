@@ -47,6 +47,11 @@ TEST(FuzzSmokeTest, Pipeline) {
   EXPECT_TRUE(status.ok()) << status.ToString();
 }
 
+TEST(FuzzSmokeTest, RowColumnarEquivalence) {
+  const Status status = check::FuzzRowColumnarEquivalence(Options(400));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
 TEST(FuzzSmokeTest, DifferentialOracles) {
   const Status status = check::FuzzDifferential(Options(10));
   EXPECT_TRUE(status.ok()) << status.ToString();

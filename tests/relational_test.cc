@@ -7,11 +7,13 @@
 #include <set>
 
 #include "relational/categorical.h"
+#include "relational/column.h"
 #include "relational/condition.h"
 #include "relational/csv.h"
 #include "relational/sample.h"
 #include "relational/schema.h"
 #include "relational/table.h"
+#include "relational/table_view.h"
 #include "relational/value.h"
 #include "relational/view.h"
 #include "tests/test_util.h"  // NOLINT
@@ -210,7 +212,7 @@ TEST(TableTest, ValueCountsSkipsNulls) {
 
 TEST(TableTest, SelectRows) {
   Table t = SampleInventory();
-  Table subset = t.SelectRows({0, 2});
+  Table subset = t.SelectRows(std::vector<size_t>{0, 2});
   EXPECT_EQ(subset.num_rows(), 2u);
   EXPECT_EQ(subset.at(1, "name"), S("dune"));
 }
@@ -675,6 +677,173 @@ TEST(CsvTest, SingleAttributeNullRowsRoundTrip) {
   EXPECT_TRUE(parsed->at(0, "a").is_null());
   EXPECT_EQ(parsed->at(1, "a"), I(1));
   EXPECT_TRUE(parsed->at(2, "a").is_null());
+}
+
+// --------------------------------------------------- Columnar storage
+
+TEST(ColumnTest, DictionaryCodesAreFirstSeenOrder) {
+  Table t = MakeTable("t", {"s"}, {{S("b")}, {S("a")}, {S("b")}, {S("c")}});
+  const Column& col = t.column(0);
+  ASSERT_EQ(col.type(), ValueType::kString);
+  EXPECT_EQ(col.codes(), (std::vector<uint32_t>{0, 1, 0, 2}));
+  EXPECT_EQ(col.dictionary().size(), 3u);
+  EXPECT_EQ(col.dictionary().value(0), "b");
+  EXPECT_EQ(col.CodeFor("c"), std::optional<uint32_t>(2));
+  EXPECT_EQ(col.CodeFor("missing"), std::nullopt);
+}
+
+TEST(ColumnTest, NullStringCellUsesReservedCode) {
+  Table t = MakeTable("t", {"s"}, {{S("x")}, {N()}});
+  const Column& col = t.column(0);
+  EXPECT_EQ(col.codes()[1], kNullCode);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.dictionary().size(), 1u);  // NULL never enters the dict
+}
+
+TEST(ColumnTest, CellHashMatchesValueHash) {
+  Table t = MakeTable("t", {"s", "i", "r"},
+                      {{S("x"), I(7), R(2.5)}, {N(), N(), N()}});
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      EXPECT_EQ(t.column(c).CellHash(r),
+                static_cast<uint64_t>(t.ValueAt(r, c).Hash()))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(ColumnTest, GatherSharesDictionaryUntilMutation) {
+  Table t = MakeTable("t", {"s"}, {{S("a")}, {S("b")}, {S("a")}});
+  Table gathered = t.SelectRows(PosList{2, 0});
+  // Zero-copy gather: same dictionary object, original codes preserved.
+  EXPECT_EQ(&gathered.column(0).dictionary(), &t.column(0).dictionary());
+  EXPECT_EQ(gathered.column(0).codes(), (std::vector<uint32_t>{0, 0}));
+  // Appending a new string clones the shared dictionary first
+  // (copy-on-write); the parent's encoding is untouched.
+  gathered.AddRow({S("z")});
+  EXPECT_NE(&gathered.column(0).dictionary(), &t.column(0).dictionary());
+  EXPECT_EQ(t.column(0).dictionary().size(), 2u);
+  EXPECT_EQ(gathered.column(0).dictionary().size(), 3u);
+  EXPECT_EQ(gathered.at(2, "s"), S("z"));
+}
+
+TEST(TableTest, AddRowFromTextRollsBackOnBadCell) {
+  TableSchema schema("t");
+  schema.AddAttribute("i", ValueType::kInt);
+  schema.AddAttribute("s", ValueType::kString);
+  Table t(schema);
+  ASSERT_TRUE(t.AddRowFromText({"1", "one"}).ok());
+  EXPECT_FALSE(t.AddRowFromText({"not-an-int", "two"}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);  // failed row left no partial cells
+  ASSERT_TRUE(t.AddRowFromText({"3", "three"}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(1, "i"), I(3));
+  EXPECT_EQ(t.at(1, "s"), S("three"));
+}
+
+TEST(ConditionTest, MatchingPositionsMatchesPerRowEvaluate) {
+  Table t = MakeTable("t", {"s", "i"},
+                      {{S("a"), I(1)},
+                       {S("b"), I(2)},
+                       {N(), I(1)},
+                       {S("a"), N()},
+                       {S("a"), I(1)}});
+  // Mixed literals: one present, one absent from the dictionary, one of
+  // the wrong type — MatchingPositions must agree with Evaluate on all.
+  const Condition cond =
+      Condition::In("s", {S("a"), S("zzz"), I(9)})
+          .Conjoin(Condition::Equals("i", I(1)));
+  PosList expected;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (cond.Evaluate(t.schema(), t.row(r))) {
+      expected.push_back(static_cast<RowId>(r));
+    }
+  }
+  EXPECT_EQ(cond.MatchingPositions(t), expected);
+  EXPECT_EQ(expected, (PosList{0, 4}));
+}
+
+TEST(ConditionTest, TrueConditionMatchesAllPositions) {
+  Table t = MakeTable("t", {"i"}, {{I(1)}, {I(2)}});
+  EXPECT_EQ(Condition::True().MatchingPositions(t), (PosList{0, 1}));
+}
+
+TEST(TableViewTest, IdentityViewIsZeroCopy) {
+  Table t = MakeTable("t", {"s"}, {{S("a")}, {S("b")}});
+  const TableView view(t);
+  EXPECT_TRUE(view.valid());
+  EXPECT_TRUE(view.is_identity());
+  EXPECT_EQ(view.num_rows(), 2u);
+  EXPECT_EQ(view.name(), "t");
+  EXPECT_EQ(view.ValueAt(1, 0), S("b"));
+  EXPECT_EQ(view.Positions(), (PosList{0, 1}));
+}
+
+TEST(TableViewTest, PosListViewReadsAndComposes) {
+  Table t = MakeTable("t", {"i"}, {{I(10)}, {I(20)}, {I(30)}, {I(40)}});
+  const TableView view(t, PosList{3, 1, 0});
+  EXPECT_EQ(view.num_rows(), 3u);
+  EXPECT_EQ(view.ValueAt(0, 0), I(40));
+  EXPECT_EQ(view.position(1), 1u);
+  // Select() composes over *view* rows, not base rows.
+  const TableView sub = view.Select(PosList{2, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.ValueAt(0, 0), I(10));
+  EXPECT_EQ(sub.ValueAt(1, 0), I(40));
+}
+
+TEST(TableViewTest, BagAndCountsMatchMaterializedTable) {
+  Table t = MakeTable("t", {"s"},
+                      {{S("a")}, {S("b")}, {N()}, {S("a")}, {S("c")}});
+  const PosList positions{0, 2, 3, 4};
+  const TableView view(t, positions);
+  const Table materialized = t.SelectRows(positions);
+  EXPECT_EQ(view.ValueBag("s"), materialized.ValueBag("s"));
+  EXPECT_EQ(view.ValueCounts("s"), materialized.ValueCounts("s"));
+}
+
+TEST(TableViewTest, RenamedAndToTable) {
+  Table t = MakeTable("t", {"s"}, {{S("a")}, {S("b")}, {S("c")}});
+  const TableView view =
+      TableView(t, PosList{2, 0}).Renamed("slice");
+  EXPECT_EQ(view.name(), "slice");
+  const Table copy = view.ToTable();
+  EXPECT_EQ(copy.name(), "slice");
+  ASSERT_EQ(copy.num_rows(), 2u);
+  EXPECT_EQ(copy.at(0, "s"), S("c"));
+  EXPECT_EQ(copy.at(1, "s"), S("a"));
+}
+
+TEST(TableViewTest, ViewBindMatchesMaterialize) {
+  Table t = MakeTable("t", {"s", "i"},
+                      {{S("a"), I(1)}, {S("b"), I(2)}, {S("a"), I(3)}});
+  const View v("va", "t", Condition::Equals("s", S("a")));
+  const TableView bound = v.Bind(t);
+  const Table materialized = v.Materialize(t);
+  ASSERT_EQ(bound.num_rows(), materialized.num_rows());
+  for (size_t r = 0; r < bound.num_rows(); ++r) {
+    for (size_t c = 0; c < bound.num_columns(); ++c) {
+      EXPECT_EQ(bound.ValueAt(r, c), materialized.ValueAt(r, c));
+    }
+  }
+  EXPECT_EQ(bound.name(), materialized.name());
+}
+
+TEST(SampleTest, ViewSplitSelectsSameRowsAsTableSplit) {
+  Table t = MakeTable("t", {"i"},
+                      {{I(0)}, {I(1)}, {I(2)}, {I(3)}, {I(4)}, {I(5)}});
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const TrainTestSplit tables = SplitTrainTest(t, 0.5, rng_a);
+  const TrainTestViewSplit views = SplitTrainTestView(t, 0.5, rng_b);
+  ASSERT_EQ(views.train.num_rows(), tables.train.num_rows());
+  ASSERT_EQ(views.test.num_rows(), tables.test.num_rows());
+  for (size_t r = 0; r < tables.train.num_rows(); ++r) {
+    EXPECT_EQ(views.train.ValueAt(r, 0), tables.train.at(r, 0));
+  }
+  for (size_t r = 0; r < tables.test.num_rows(); ++r) {
+    EXPECT_EQ(views.test.ValueAt(r, 0), tables.test.at(r, 0));
+  }
 }
 
 }  // namespace
