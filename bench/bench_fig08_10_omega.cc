@@ -12,7 +12,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(5);
+  const size_t reps = GlobalBenchConfig().Repetitions(5);
   const double omegas[] = {0.0,  0.025, 0.05, 0.075, 0.1, 0.125,
                            0.15, 0.2,   0.25, 0.3,   0.4, 0.5};
 

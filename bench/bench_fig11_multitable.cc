@@ -10,7 +10,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(5);
+  const size_t reps = GlobalBenchConfig().Repetitions(5);
   ResultTable table("Fig 11: MultiTable vs QualTable (NaiveInfer)",
                     {"target", "F_qualtable", "F_multitable", "gap"});
   for (RetailTarget target : {RetailTarget::kRyanEyers,

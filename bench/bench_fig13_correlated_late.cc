@@ -9,7 +9,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(5);
+  const size_t reps = GlobalBenchConfig().Repetitions(5);
   ResultTable table("Fig 13: FMeasure vs rho (LateDisjuncts)",
                     {"rho", "F_naive", "F_src", "F_tgt"});
   for (double rho : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99}) {

@@ -13,7 +13,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(5);
+  const size_t reps = GlobalBenchConfig().Repetitions(5);
   ResultTable table(
       "Fig 14: FMeasure vs gamma (LateDisjuncts, Ryan_Eyers)",
       {"gamma", "F_naive_late", "F_src_late", "F_tgt_late", "F_src_early"});

@@ -12,7 +12,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(3);
+  const size_t reps = GlobalBenchConfig().Repetitions(3);
   ResultTable table(
       "Fig 15: EarlyDisjuncts runtime relative to LateDisjuncts (NaiveInfer)",
       {"gamma", "early_seconds", "late_seconds", "early/late"});

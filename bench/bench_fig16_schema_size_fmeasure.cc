@@ -13,7 +13,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(3);
+  const size_t reps = GlobalBenchConfig().Repetitions(3);
   ResultTable table(
       "Fig 16: FMeasure vs schema size (SrcClassInfer, EarlyDisjuncts)",
       {"extra_attrs", "F_gamma2", "F_gamma4", "F_gamma8"});

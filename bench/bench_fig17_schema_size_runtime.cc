@@ -11,7 +11,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(3);
+  const size_t reps = GlobalBenchConfig().Repetitions(3);
   ResultTable table("Fig 17: runtime vs schema size",
                     {"extra_attrs", "src_seconds", "tgt_seconds", "tgt/src"});
   for (size_t n : {0u, 4u, 8u, 12u, 16u}) {

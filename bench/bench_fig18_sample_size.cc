@@ -10,7 +10,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(5);
+  const size_t reps = GlobalBenchConfig().Repetitions(5);
   ResultTable table("Fig 18: accuracy vs sample size (TgtClassInfer)",
                     {"tuples", "accuracy", "fmeasure", "precision"});
   for (size_t n : {25u, 50u, 100u, 200u, 400u, 800u}) {

@@ -14,7 +14,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(5);
+  const size_t reps = GlobalBenchConfig().Repetitions(5);
   ResultTable table("Fig 19: Grades accuracy vs sigma (ClioQualTable)",
                     {"sigma", "F_naive", "F_src", "F_tgt"});
   for (double sigma : {1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0}) {

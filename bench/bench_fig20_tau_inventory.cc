@@ -13,7 +13,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(5);
+  const size_t reps = GlobalBenchConfig().Repetitions(5);
   ResultTable table("Fig 20: Retail quality vs tau",
                     {"tau", "fmeasure", "accuracy", "precision"});
   for (double tau : {0.30, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.80}) {

@@ -11,7 +11,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(5);
+  const size_t reps = GlobalBenchConfig().Repetitions(5);
   ResultTable table("Fig 21: Grades quality vs tau",
                     {"tau", "fmeasure", "accuracy", "precision"});
   for (double tau : {0.30, 0.40, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80,

@@ -10,7 +10,7 @@ int main() {
   using namespace csm;
   using namespace csm::bench;
 
-  const size_t reps = BenchRepetitions(3);
+  const size_t reps = GlobalBenchConfig().Repetitions(3);
   ResultTable table("Fig 22: Retail runtime vs tau",
                     {"tau", "seconds", "relative_to_tau_0.3"});
   double baseline = 0.0;

@@ -78,7 +78,7 @@ struct GammaRow {
 int main(int argc, char** argv) {
   const std::string json_path =
       argc > 1 ? argv[1] : "BENCH_columnar_scan.json";
-  const size_t reps = BenchRepetitions(10);
+  const size_t reps = GlobalBenchConfig().Repetitions(10);
   volatile size_t sink = 0;
 
   ResultTable out_table(

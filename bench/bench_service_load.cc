@@ -1,0 +1,188 @@
+// Load generator for the MatchService daemon: a closed-loop fleet of
+// client threads replays thousands of simulated clients with mixed schemas
+// (retail variants at different sizes/gammas plus grades variants) and
+// mixed modes (context / conjunctive / target-context) against one
+// service, then reports sustained QPS and the p50/p95/p99 tail latency the
+// clients observed — straight from the service's MetricsRegistry, the same
+// numbers a production deployment would export.
+//
+// Knobs (shared BenchConfig): CSM_BENCH_CLIENTS concurrent client threads
+// (default 16), CSM_BENCH_REQUESTS total requests (default 2000, one per
+// simulated client), CSM_BENCH_THREADS engine workers (default all cores).
+//
+// Writes a machine-readable record to BENCH_service_load.json (or argv[1]).
+//
+// What to expect: the dispatcher serializes engine runs, so QPS is bounded
+// by mean run time; the hot session cache (8 entries) covers the 8 distinct
+// (source, target) pairs, so phase 1 amortizes away and tail latency is
+// dominated by inference + scoring.  Identical concurrent requests
+// deduplicate — the "deduplicated" counter shows how many rides were free.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/thread_pool.h"
+#include "service/match_service.h"
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_service_load.json";
+  const BenchConfig& config = GlobalBenchConfig();
+  const size_t clients = config.clients > 0 ? config.clients : 16;
+  const size_t requests = config.requests > 0 ? config.requests : 2000;
+  const size_t engine_threads = config.Threads(/*default_threads=*/0);
+
+  // Eight distinct workloads: four retail variants (size and gamma sweep)
+  // and four grades variants.  Every simulated client is pinned to one
+  // workload and one mode, so the request mix is deterministic regardless
+  // of thread interleaving.
+  struct Workload {
+    Database source{"source"};
+    Database target{"target"};
+    std::string name;
+  };
+  std::vector<Workload> workloads;
+  for (size_t k = 0; k < 4; ++k) {
+    RetailOptions options;
+    options.num_items = 80 + 40 * k;
+    options.gamma = k < 2 ? 2 : 4;
+    options.seed = 100 + k;
+    RetailDataset data = MakeRetailDataset(options);
+    Workload w;
+    w.source = std::move(data.source);
+    w.target = std::move(data.target);
+    w.name = "retail-" + std::to_string(options.num_items) + "-g" +
+             std::to_string(options.gamma);
+    workloads.push_back(std::move(w));
+  }
+  for (size_t k = 0; k < 4; ++k) {
+    GradesOptions options;
+    options.seed = 200 + k;
+    GradesDataset data = MakeGradesDataset(options);
+    Workload w;
+    w.source = std::move(data.source);
+    w.target = std::move(data.target);
+    w.name = "grades-" + std::to_string(k);
+    workloads.push_back(std::move(w));
+  }
+
+  ServiceOptions options;
+  options.engine = DefaultMatch();
+  options.engine.threads = engine_threads;
+  // Closed loop: at most `clients` requests are outstanding, so the queue
+  // bound never rejects — this bench measures throughput and tails, not
+  // admission (service_test covers rejection paths deterministically).
+  options.max_queue = clients + 1;
+  MatchService service(options);
+
+  std::printf(
+      "service load: %zu client threads, %zu simulated clients/requests, "
+      "%zu workloads, engine threads=%zu\n",
+      clients, requests, workloads.size(), engine_threads);
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> failures{0};
+  Stopwatch wall;
+  std::vector<std::thread> fleet;
+  fleet.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    fleet.emplace_back([&] {
+      for (;;) {
+        const size_t id = next.fetch_add(1);
+        if (id >= requests) return;
+        const Workload& w = workloads[id % workloads.size()];
+        MatchRequest request;
+        request.tenant = "tenant-" + std::to_string(id % 4);
+        request.deadline_ms = 60000;
+        switch (id % 3) {
+          case 0:
+            request.mode = MatchMode::kContext;
+            break;
+          case 1:
+            request.mode = MatchMode::kConjunctive;
+            request.max_stages = 2;
+            break;
+          default:
+            request.mode = MatchMode::kTargetContext;
+            break;
+        }
+        request.source = BorrowDatabase(w.source);
+        request.target = BorrowDatabase(w.target);
+        MatchResponse response = service.Call(request);
+        if (!response.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+  const double wall_seconds = wall.Seconds();
+  service.Stop();
+
+  const obs::PhaseReport report = service.metrics().Snapshot();
+  const obs::HistogramSummary total = report.Histogram("service.total_seconds");
+  const obs::HistogramSummary queue = report.Histogram("service.queue_seconds");
+  const obs::HistogramSummary run = report.Histogram("service.run_seconds");
+  const uint64_t completed = report.Count("service.completed");
+  const uint64_t deduplicated = report.Count("service.deduplicated");
+  const double qps = wall_seconds > 0 ? requests / wall_seconds : 0.0;
+
+  std::printf("\n%zu requests in %.2fs -> %.1f QPS sustained (%zu failures)\n",
+              requests, wall_seconds, qps, failures.load());
+  std::printf("latency   p50 %.4fs  p95 %.4fs  p99 %.4fs  max %.4fs\n",
+              total.p50, total.p95, total.p99, total.max);
+  std::printf("  queue   p50 %.4fs  p95 %.4fs\n", queue.p50, queue.p95);
+  std::printf("  run     p50 %.4fs  p95 %.4fs\n", run.p50, run.p95);
+  std::printf(
+      "engine runs %llu, deduplicated %llu, session cache hits/misses "
+      "%llu/%llu\n",
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(deduplicated),
+      static_cast<unsigned long long>(report.Count("engine.session_cache_hits")),
+      static_cast<unsigned long long>(
+          report.Count("engine.session_cache_misses")));
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"service_load\",\n"
+               "  \"workload\": {\"clients\": %zu, \"requests\": %zu,"
+               " \"distinct_workloads\": %zu, \"modes\":"
+               " [\"context\", \"conjunctive\", \"target_context\"],"
+               " \"engine_threads\": %zu},\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"wall_seconds\": %.3f,\n"
+               "  \"qps_sustained\": %.2f,\n"
+               "  \"failures\": %zu,\n"
+               "  \"latency_seconds\": {\"p50\": %.5f, \"p95\": %.5f,"
+               " \"p99\": %.5f, \"mean\": %.5f, \"max\": %.5f},\n"
+               "  \"queue_seconds\": {\"p50\": %.5f, \"p95\": %.5f,"
+               " \"p99\": %.5f},\n"
+               "  \"run_seconds\": {\"p50\": %.5f, \"p95\": %.5f,"
+               " \"p99\": %.5f},\n"
+               "  \"counters\": {\"completed\": %llu, \"deduplicated\": %llu,"
+               " \"session_cache_hits\": %llu, \"session_cache_misses\":"
+               " %llu}\n"
+               "}\n",
+               clients, requests, workloads.size(), engine_threads,
+               exec::ThreadPool::HardwareThreads(), wall_seconds, qps,
+               failures.load(), total.p50, total.p95, total.p99, total.Mean(),
+               total.max, queue.p50, queue.p95, queue.p99, run.p50, run.p95,
+               run.p99, static_cast<unsigned long long>(completed),
+               static_cast<unsigned long long>(deduplicated),
+               static_cast<unsigned long long>(
+                   report.Count("engine.session_cache_hits")),
+               static_cast<unsigned long long>(
+                   report.Count("engine.session_cache_misses")));
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return failures.load() == 0 ? 0 : 1;
+}

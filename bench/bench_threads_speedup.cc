@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   const std::string json_path =
       argc > 1 ? argv[1] : "BENCH_threads_speedup.json";
-  const size_t reps = BenchRepetitions(3);
+  const size_t reps = GlobalBenchConfig().Repetitions(3);
   const size_t hardware = exec::ThreadPool::HardwareThreads();
   if (hardware == 1) {
     std::fprintf(stderr,

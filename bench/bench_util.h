@@ -11,6 +11,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "core/match_engine.h"
 #include "datagen/grades_gen.h"
@@ -22,11 +23,8 @@
 namespace csm {
 namespace bench {
 
-/// The CSM_BENCH_TRACE prefix, or null when tracing is off.
-inline const char* BenchTracePrefix() {
-  const char* env = std::getenv("CSM_BENCH_TRACE");
-  return (env != nullptr && *env != '\0') ? env : nullptr;
-}
+// Environment knobs come from the shared BenchConfig (harness/experiment.h)
+// — use GlobalBenchConfig() instead of reading CSM_BENCH_* directly.
 
 /// Folds a run's PhaseReport into the trial metrics under the legacy bench
 /// JSON key names, plus per-unit latency quantiles from the histograms.
@@ -56,9 +54,12 @@ inline ContextMatchResult RunEngineTrial(const Database& source,
                                          uint64_t seed) {
   MatchEngine engine(options);
   obs::Tracer tracer;
-  const char* trace_prefix = BenchTracePrefix();
+  const char* trace_prefix = GlobalBenchConfig().TracePrefix();
   if (trace_prefix != nullptr) engine.set_tracer(&tracer);
-  ContextMatchResult result = engine.Match(source, target);
+  MatchRequest request;
+  request.source = BorrowDatabase(source);
+  request.target = BorrowDatabase(target);
+  ContextMatchResult result = std::move(engine.Execute(request).result);
   if (trace_prefix != nullptr) {
     tracer.WriteChromeTrace(std::string(trace_prefix) + "-" + dataset + "-" +
                             std::to_string(seed) + ".json");
@@ -122,7 +123,7 @@ inline ContextMatchOptions DefaultMatch() {
   options.inference = ViewInferenceKind::kSrcClass;
   options.selection = SelectionPolicy::kQualTable;
   options.early_disjuncts = true;
-  options.threads = BenchThreads(/*default_threads=*/1);
+  options.threads = GlobalBenchConfig().Threads(/*default_threads=*/1);
   return options;
 }
 
@@ -139,7 +140,7 @@ inline ContextMatchOptions DefaultGradesMatch() {
   options.inference = ViewInferenceKind::kSrcClass;
   options.selection = SelectionPolicy::kQualTable;
   options.early_disjuncts = false;
-  options.threads = BenchThreads(/*default_threads=*/1);
+  options.threads = GlobalBenchConfig().Threads(/*default_threads=*/1);
   return options;
 }
 

@@ -24,9 +24,11 @@
 //                    latency histograms) as JSON to F; "-" prints a
 //                    readable summary to stdout
 //
-// Exit codes: 0 success, 1 internal/io failure, 2 bad input (unusable
-// flags, missing/unreadable CSVs), 3 deadline exceeded (degraded result
-// was still printed).
+// Exit codes come from the shared StatusCode table (ExitCodeForStatus in
+// common/status.h, the same mapping the match service uses): 0 success,
+// 1 internal failure, 2 bad input (unusable flags, missing/unreadable
+// CSVs), 3 deadline exceeded or cancelled (degraded result was still
+// printed).  Output-write failures (trace/metrics files) exit 1.
 //
 // Demo (no arguments): generates the Retail data set into a temp directory
 // and matches it, so the tool is runnable out of the box.
@@ -181,19 +183,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Unreadable input is the caller's problem (exit 2: bad input), distinct
-  // from the tool's own failures (exit 1).
+  // Unreadable input is the caller's problem: load failures carry
+  // kIoError/kNotFound, which the shared table maps to exit 2 (bad input),
+  // distinct from the tool's own failures (exit 1).
   auto source = LoadDirectory(source_dir, "source");
   if (!source.ok()) {
     std::fprintf(stderr, "cannot load source: %s\n",
                  source.status().ToString().c_str());
-    return 2;
+    return ExitCodeForStatus(source.status().code());
   }
   auto target = LoadDirectory(target_dir, "target");
   if (!target.ok()) {
     std::fprintf(stderr, "cannot load target: %s\n",
                  target.status().ToString().c_str());
-    return 2;
+    return ExitCodeForStatus(target.status().code());
   }
 
   std::printf("\nrunning ContextMatch: tau=%.2f omega=%.3f infer=%s "
@@ -212,51 +215,52 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) engine.set_tracer(&tracer);
   if (!metrics_out.empty()) engine.set_metrics(&metrics);
 
-  ContextMatchResult result = engine.ConjunctiveMatch(*source, *target, stages);
+  MatchRequest request;
+  request.mode = stages > 1 ? MatchMode::kConjunctive : MatchMode::kContext;
+  request.max_stages = stages;
+  request.source = BorrowDatabase(*source);
+  request.target = BorrowDatabase(*target);
+  MatchResponse response = engine.Execute(request);
+  const ContextMatchResult& result = response.result;
   std::printf("-- selected views (%zu of %zu candidates) --\n",
-              result.selected_views.size(),
+              response.selected_views.size(),
               result.pool.candidate_views.size());
-  for (const View& v : result.selected_views) {
+  for (const View& v : response.selected_views) {
     std::printf("  %s\n", v.ToString().c_str());
   }
   std::printf("-- matches --\n");
-  for (const Match& m : result.matches) {
+  for (const Match& m : response.matches) {
     std::printf("  %s\n", m.ToString().c_str());
   }
-  std::printf("(%zu matches, %.3fs total)\n", result.matches.size(),
+  std::printf("(%zu matches, %.3fs total)\n", response.matches.size(),
               result.TotalSeconds());
 
   // A degraded run still prints its partial answer above; the status and
-  // exit code tell scripts the answer is incomplete.
-  int exit_code = 0;
-  if (!result.status.ok()) {
+  // exit code (shared table: deadline/cancel = 3) tell scripts the answer
+  // is incomplete.
+  int exit_code = response.ExitCode();
+  if (!response.ok()) {
     std::fprintf(stderr, "\nrun degraded: %s (completeness: %s)\n",
-                 result.status.ToString().c_str(),
-                 MatchCompletenessToString(result.completeness));
-    exit_code =
-        result.status.code() == StatusCode::kDeadlineExceeded ? 3 : 1;
+                 response.status.ToString().c_str(),
+                 MatchCompletenessToString(response.completeness));
   }
 
   if (target_views) {
     std::printf("\n-- target-side contextual matching --\n");
-    TargetContextMatchResult reversed =
-        engine.TargetContextMatch(*source, *target);
-    for (const View& v : reversed.selected_target_views) {
+    request.mode = MatchMode::kTargetContext;
+    request.max_stages = 1;
+    MatchResponse reversed = engine.Execute(request);
+    for (const View& v : reversed.selected_views) {
       std::printf("  target view: %s\n", v.ToString().c_str());
     }
     for (const Match& m : reversed.matches) {
       std::printf("  %s\n", m.ToString().c_str());
     }
-    if (!reversed.reversed.status.ok()) {
+    if (!reversed.ok()) {
       std::fprintf(stderr, "\ntarget-side run degraded: %s (completeness: %s)\n",
-                   reversed.reversed.status.ToString().c_str(),
-                   MatchCompletenessToString(reversed.reversed.completeness));
-      if (exit_code == 0) {
-        exit_code = reversed.reversed.status.code() ==
-                            StatusCode::kDeadlineExceeded
-                        ? 3
-                        : 1;
-      }
+                   reversed.status.ToString().c_str(),
+                   MatchCompletenessToString(reversed.completeness));
+      if (exit_code == 0) exit_code = reversed.ExitCode();
     }
   }
 

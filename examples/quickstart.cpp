@@ -48,16 +48,21 @@ int main() {
   options.seed = 42;
 
   MatchEngine engine(options);  // reusable: pool + session cache live here
-  ContextMatchResult result = engine.Match(data.source, data.target);
+  MatchRequest request;         // the unified entrypoint (any mode fits here)
+  request.mode = MatchMode::kContext;
+  request.source = BorrowDatabase(data.source);
+  request.target = BorrowDatabase(data.target);
+  MatchResponse response = engine.Execute(request);
+  const ContextMatchResult& result = response.result;
 
   std::printf("\n-- candidate views considered: %zu --\n",
               result.pool.candidate_views.size());
   std::printf("-- selected views --\n");
-  for (const View& view : result.selected_views) {
+  for (const View& view : response.selected_views) {
     std::printf("  %s\n", view.ToString().c_str());
   }
   std::printf("-- contextual matches --\n");
-  for (const Match& m : result.matches) {
+  for (const Match& m : response.matches) {
     std::printf("  %s\n", m.ToString().c_str());
   }
 

@@ -26,8 +26,35 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+int ExitCodeForStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kIoError:
+      return 2;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+      return 3;
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+      return 1;
+  }
+  return 1;
 }
 
 std::string Status::ToString() const {

@@ -28,10 +28,27 @@ enum class StatusCode {
   kIoError = 8,
   kDeadlineExceeded = 9,
   kCancelled = 10,
+  /// A bounded resource (request queue, tenant quota, rate budget) is spent;
+  /// retrying later may succeed.  The matching service's admission-control
+  /// rejections carry this code.
+  kResourceExhausted = 11,
+  /// The serving process is stopping or not accepting work at all.
+  kUnavailable = 12,
 };
 
 /// Returns the canonical spelling of a status code ("OK", "NotFound", ...).
 const char* StatusCodeToString(StatusCode code);
+
+/// The single StatusCode -> process-exit-code table shared by the CLI tools
+/// (csv_match_tool, match_service_daemon) and the service's response codes:
+///   0  kOk — complete answer
+///   2  caller/input problems (kInvalidArgument, kNotFound, kAlreadyExists,
+///      kFailedPrecondition, kOutOfRange, kIoError)
+///   3  degraded-but-answered (kDeadlineExceeded, kCancelled): a partial
+///      result was still produced and printed
+///   1  everything else (kInternal, kUnimplemented, kResourceExhausted,
+///      kUnavailable) — the tool or service itself failed
+int ExitCodeForStatus(StatusCode code);
 
 /// Result of an operation that can fail: a code plus a human-readable
 /// message.  Cheap to copy in the OK case (empty message).
@@ -73,6 +90,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

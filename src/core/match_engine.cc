@@ -141,42 +141,6 @@ std::string ViewKey(const View& view) {
   return view.base_table() + "\x1d" + view.condition().ToString();
 }
 
-uint64_t HashMix(uint64_t h, uint64_t v) {
-  // FNV-1a style fold with a 64-bit avalanche, good enough for cache keys.
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-uint64_t HashString(uint64_t h, const std::string& s) {
-  h = HashMix(h, s.size());
-  for (char c : s) h = HashMix(h, static_cast<unsigned char>(c));
-  return h;
-}
-
-/// Content fingerprint of a database: name, schemas and every cell value.
-/// Two databases with the same fingerprint yield the same sessions, so the
-/// engine's cache is keyed on it rather than on object identity (callers
-/// often rebuild equal Database values between calls).
-uint64_t FingerprintDatabase(const Database& db) {
-  uint64_t h = HashString(0x811c9dc5u, db.name());
-  h = HashMix(h, db.tables().size());
-  for (const Table& table : db.tables()) {
-    h = HashString(h, table.name());
-    h = HashString(h, table.schema().ToString());
-    h = HashMix(h, table.num_rows());
-    // Row-major over the column segments: the same hash sequence the old
-    // row-store loop produced (Column::CellHash == Value::Hash), without
-    // boxing a Value per cell.
-    const size_t num_cols = table.schema().num_attributes();
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      for (size_t c = 0; c < num_cols; ++c) {
-        h = HashMix(h, table.column(c).CellHash(r));
-      }
-    }
-  }
-  return h;
-}
-
 /// Bounds the session cache; one entry can hold a full database's score
 /// matrices, so the cap is small.  Eviction is least-recently-used, one
 /// entry per insertion: wholesale clearing would thrash to a 0% hit rate
@@ -221,16 +185,90 @@ MatchEngine::MatchEngine(ContextMatchOptions options)
 
 MatchEngine::~MatchEngine() = default;
 
+MatchResponse MatchEngine::Execute(const MatchRequest& request,
+                                   const CancellationToken* cancel) {
+  MatchResponse response;
+  if (request.source == nullptr || request.target == nullptr) {
+    response.status =
+        Status::InvalidArgument("request needs source and target databases");
+    response.completeness = MatchCompleteness::kBaselineOnly;
+    return response;
+  }
+  if (request.max_stages < 1) {
+    response.status = Status::InvalidArgument("max_stages must be >= 1");
+    response.completeness = MatchCompleteness::kBaselineOnly;
+    return response;
+  }
+
+  // Per-request budget: a token layered between the caller's token and the
+  // run's own (which still adds options().deadline_ms).  Only created when
+  // needed, so deadline-free requests keep the exact legacy token chain.
+  CancellationToken request_cancel;
+  const CancellationToken* effective = cancel;
+  if (request.deadline_ms > 0) {
+    request_cancel.set_deadline(Deadline::AfterMillis(request.deadline_ms));
+    request_cancel.set_parent(cancel);
+    effective = &request_cancel;
+  }
+
+  switch (request.mode) {
+    case MatchMode::kContext:
+      response.result = RunPipeline(*request.source, *request.target,
+                                    /*max_stages=*/1, effective);
+      break;
+    case MatchMode::kConjunctive:
+      response.result = RunPipeline(*request.source, *request.target,
+                                    request.max_stages, effective);
+      break;
+    case MatchMode::kTargetContext: {
+      // Reverse the roles: conditions are inferred on the target's tables,
+      // then every match is flipped back into source -> target orientation.
+      response.result = RunPipeline(*request.target, *request.source,
+                                    /*max_stages=*/1, effective);
+      // `csm::Match` the struct is qualified here: unqualified `Match`
+      // inside a member function names the MatchEngine::Match overload.
+      for (const csm::Match& reversed_match : response.result.matches) {
+        csm::Match flipped;
+        flipped.source = reversed_match.target;
+        flipped.target = reversed_match.source;
+        flipped.condition = reversed_match.condition;
+        flipped.condition_on_target = !reversed_match.condition.is_true();
+        flipped.score = reversed_match.score;
+        flipped.confidence = reversed_match.confidence;
+        response.matches.push_back(std::move(flipped));
+      }
+      response.selected_views = response.result.selected_views;
+      response.status = response.result.status;
+      response.completeness = response.result.completeness;
+      return response;
+    }
+  }
+
+  response.matches = response.result.matches;
+  response.selected_views = response.result.selected_views;
+  response.status = response.result.status;
+  response.completeness = response.result.completeness;
+  return response;
+}
+
 ContextMatchResult MatchEngine::Match(const Database& source,
                                       const Database& target,
                                       const CancellationToken* cancel) {
-  return RunPipeline(source, target, /*max_stages=*/1, cancel);
+  MatchRequest request;
+  request.source = BorrowDatabase(source);
+  request.target = BorrowDatabase(target);
+  return std::move(Execute(request, cancel).result);
 }
 
 ContextMatchResult MatchEngine::ConjunctiveMatch(
     const Database& source, const Database& target, size_t max_stages,
     const CancellationToken* cancel) {
-  return RunPipeline(source, target, max_stages, cancel);
+  MatchRequest request;
+  request.mode = MatchMode::kConjunctive;
+  request.max_stages = max_stages;
+  request.source = BorrowDatabase(source);
+  request.target = BorrowDatabase(target);
+  return std::move(Execute(request, cancel).result);
 }
 
 void MatchEngine::Cancel() {
@@ -243,23 +281,15 @@ void MatchEngine::Cancel() {
 TargetContextMatchResult MatchEngine::TargetContextMatch(
     const Database& source, const Database& target,
     const CancellationToken* cancel) {
+  MatchRequest request;
+  request.mode = MatchMode::kTargetContext;
+  request.source = BorrowDatabase(source);
+  request.target = BorrowDatabase(target);
+  MatchResponse response = Execute(request, cancel);
   TargetContextMatchResult result;
-  // Reverse the roles: conditions are inferred on `target`'s tables.
-  result.reversed = RunPipeline(target, source, /*max_stages=*/1, cancel);
-
-  // `csm::Match` the struct is qualified here: unqualified `Match` inside a
-  // member function names the MatchEngine::Match overload.
-  for (const csm::Match& reversed_match : result.reversed.matches) {
-    csm::Match flipped;
-    flipped.source = reversed_match.target;
-    flipped.target = reversed_match.source;
-    flipped.condition = reversed_match.condition;
-    flipped.condition_on_target = !reversed_match.condition.is_true();
-    flipped.score = reversed_match.score;
-    flipped.confidence = reversed_match.confidence;
-    result.matches.push_back(std::move(flipped));
-  }
-  result.selected_target_views = result.reversed.selected_views;
+  result.matches = std::move(response.matches);
+  result.selected_target_views = std::move(response.selected_views);
+  result.reversed = std::move(response.result);
   return result;
 }
 
@@ -291,13 +321,87 @@ MatchEngine::SessionLookup MatchEngine::LookupSessions(
     registry->AddCounter("engine.session_cache_evictions");
   }
 
+  // Cold tier: on a hot miss, try to restore the sessions from the attached
+  // store before paying for a build.  The cold key folds in the options
+  // fingerprint (the hot key need not: one engine has one options value)
+  // and a format-version constant so stale blobs never cross a change.
+  uint64_t cold_key = 0;
+  if (cold_store_ != nullptr) {
+    cold_key = MixFingerprint(0x636f6c642d763101ULL, key.first);  // "cold-v1"
+    cold_key = MixFingerprint(cold_key, key.second);
+    cold_key = MixFingerprint(cold_key, FingerprintMatchOptions(options_.match));
+  }
+  const auto& tables = source.tables();
+  if (cold_store_ != nullptr) {
+    std::string blob;
+    if (cold_store_->Load(cold_key, &blob)) {
+      auto parsed = ParseSessionScores(blob, source);
+      bool usable = parsed.ok();
+      if (usable) {
+        // Validate dimensions before constructing: the restore constructor
+        // CHECK-fails on a mismatch, and a cold blob is untrusted input.
+        const size_t matchers = DefaultMatcherSuite().size();
+        size_t target_attrs = 0;
+        for (const Table& t : target.tables()) {
+          target_attrs += t.schema().num_attributes();
+        }
+        for (size_t i = 0; i < tables.size() && usable; ++i) {
+          const auto& raw = parsed.value()[i].raw;
+          if (raw.size() != matchers) usable = false;
+          for (const auto& per_source : raw) {
+            if (per_source.size() != tables[i].schema().num_attributes()) {
+              usable = false;
+              break;
+            }
+            for (const auto& per_target : per_source) {
+              if (per_target.size() != target_attrs) {
+                usable = false;
+                break;
+              }
+            }
+            if (!usable) break;
+          }
+        }
+      }
+      if (usable) {
+        // Restore serially (cheap: no scoring loop), honoring the same
+        // cancellation and fault-injection surface as a build so degraded
+        // runs behave identically whichever tier answers.
+        SessionCacheEntry entry;
+        size_t restored = 0;
+        for (size_t i = 0; i < tables.size(); ++i) {
+          if (cancel != nullptr && cancel->cancelled()) break;
+          if (FaultInjector::Hit("standard.session", i)) break;
+          auto session = std::make_unique<TableMatchSession>(
+              tables[i], target, DefaultMatcherSuite(), options_.match,
+              std::move(parsed.value()[i]));
+          entry.accepted.push_back(session->AcceptedMatches(options_.tau));
+          entry.sessions.push_back(std::move(session));
+          ++restored;
+        }
+        if (restored == tables.size()) {
+          ++cold_hits_;
+          registry->AddCounter("engine.session_cold_hits");
+          entry.last_used = ++cache_tick_;
+          return SessionLookup{
+              &session_cache_.emplace(key, std::move(entry)).first->second,
+              restored};
+        }
+        // Cancelled / fault-injected mid-restore: same contract as a
+        // partial build — usable prefix for this call, never cached.
+        partial_sessions_ = std::move(entry);
+        return SessionLookup{&partial_sessions_, restored};
+      }
+      registry->AddCounter("engine.session_cold_invalid");
+    }
+  }
+
   // Build per-table sessions concurrently in fixed chunks of kSessionChunk
   // tables; `cancel` is consulted only between chunks, so a degraded build
   // yields a whole-chunk table prefix.  Session construction and
   // AcceptedMatches draw no random numbers, and results land in table
   // order, so warm-cache runs are bit-identical to cold ones.
   obs::Tracer* tracer = tracer_;
-  const auto& tables = source.tables();
   struct Built {
     std::unique_ptr<TableMatchSession> session;
     MatchList accepted;
@@ -333,6 +437,14 @@ MatchEngine::SessionLookup MatchEngine::LookupSessions(
     entry.accepted.push_back(std::move(built[i].accepted));
   }
   if (valid == tables.size()) {
+    // Offer every complete fresh build to the cold tier (a cold hit never
+    // re-stores: the blob it read is already the one it would write).
+    if (cold_store_ != nullptr) {
+      if (cold_store_->Store(cold_key, SerializeSessionScores(entry.sessions))) {
+        ++cold_stores_;
+        registry->AddCounter("engine.session_cold_stores");
+      }
+    }
     entry.last_used = ++cache_tick_;
     return SessionLookup{
         &session_cache_.emplace(key, std::move(entry)).first->second, valid};

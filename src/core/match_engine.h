@@ -13,6 +13,12 @@
 //   auto r1 = engine.Match(src, tgt);      // builds sessions
 //   auto r2 = engine.Match(src, tgt);      // reuses them (cache hit)
 //
+// Since the service PR the engine has ONE real entrypoint — Execute over a
+// MatchRequest (core/match_request.h) — and Match / ConjunctiveMatch /
+// TargetContextMatch are thin wrappers that build the request and unpack
+// the response.  New callers should use Execute; the wrappers stay for the
+// one-shot free functions and existing call sites.
+//
 // What the engine owns:
 //   * the worker pool (options.threads resolved once at construction),
 //   * optional Tracer / MetricsRegistry sinks applied to every call,
@@ -48,6 +54,8 @@
 
 #include "common/cancellation.h"
 #include "core/context_match.h"
+#include "core/match_request.h"
+#include "core/session_store.h"
 #include "core/target_context.h"
 #include "exec/thread_pool.h"
 #include "match/session.h"
@@ -62,6 +70,17 @@ class MatchEngine {
 
   MatchEngine(const MatchEngine&) = delete;
   MatchEngine& operator=(const MatchEngine&) = delete;
+
+  /// The unified entrypoint: runs `request` (mode, stages, per-request
+  /// deadline) and returns the single response shape.  The three legacy
+  /// signatures below are thin wrappers over this and bit-identical to
+  /// their historical behavior.  A malformed request (null databases,
+  /// max_stages == 0, unknown mode) is answered with kInvalidArgument
+  /// without running.  `request.deadline_ms` layers a budget measured from
+  /// this call under the caller's token; options().deadline_ms still
+  /// applies too — whichever fires first wins.
+  MatchResponse Execute(const MatchRequest& request,
+                        const CancellationToken* cancel = nullptr);
 
   /// Algorithm ContextMatch (Fig. 5) over every source table.
   ///
@@ -98,6 +117,14 @@ class MatchEngine {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches a cold session tier (core/session_store.h): on a hot-cache
+  /// miss the engine tries to restore the phase-1 sessions from the store
+  /// (promoting a hit into the hot LRU) and offers every full build back to
+  /// it.  Restored sessions are bit-identical to built ones, so results do
+  /// not depend on which tier answered (service_test enforces this).  The
+  /// store must outlive the engine or be detached first; null detaches.
+  void set_cold_store(SessionColdStore* store) { cold_store_ = store; }
+
   const ContextMatchOptions& options() const { return options_; }
   /// Resolved worker count (options.threads with 0 = hardware concurrency).
   size_t threads() const { return threads_; }
@@ -108,6 +135,10 @@ class MatchEngine {
   uint64_t session_cache_hits() const { return cache_hits_; }
   uint64_t session_cache_misses() const { return cache_misses_; }
   uint64_t session_cache_evictions() const { return cache_evictions_; }
+  /// Cold-tier introspection ("engine.session_cold_hits" /
+  /// "engine.session_cold_stores" / "engine.session_cold_invalid" counters).
+  uint64_t session_cold_hits() const { return cold_hits_; }
+  uint64_t session_cold_stores() const { return cold_stores_; }
   void ClearSessionCache() { session_cache_.clear(); }
 
  private:
@@ -152,6 +183,9 @@ class MatchEngine {
   std::unique_ptr<exec::ThreadPool> pool_;  // null when threads_ == 1
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  SessionColdStore* cold_store_ = nullptr;
+  uint64_t cold_hits_ = 0;
+  uint64_t cold_stores_ = 0;
 
   std::map<std::pair<uint64_t, uint64_t>, SessionCacheEntry> session_cache_;
   uint64_t cache_hits_ = 0;

@@ -1,0 +1,17 @@
+#include "core/match_request.h"
+
+namespace csm {
+
+const char* MatchModeToString(MatchMode mode) {
+  switch (mode) {
+    case MatchMode::kContext:
+      return "context";
+    case MatchMode::kConjunctive:
+      return "conjunctive";
+    case MatchMode::kTargetContext:
+      return "target_context";
+  }
+  return "unknown";
+}
+
+}  // namespace csm

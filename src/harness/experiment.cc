@@ -30,22 +30,37 @@ AggregatedMetrics RunRepeated(
   return out;
 }
 
-size_t BenchRepetitions(size_t default_reps) {
-  const char* env = std::getenv("CSM_BENCH_REPS");
-  if (env != nullptr) {
-    long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<size_t>(parsed);
-  }
-  return default_reps;
+namespace {
+
+/// Parses a non-negative size knob; `min` rejects values below it (so REPS
+/// treats 0 as unset while THREADS keeps it as "all hardware threads").
+bool ReadSizeEnv(const char* name, long min, size_t* out) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return false;
+  char* end = nullptr;
+  long parsed = std::strtol(env, &end, 10);
+  if (end == env || parsed < min) return false;
+  *out = static_cast<size_t>(parsed);
+  return true;
 }
 
-size_t BenchThreads(size_t default_threads) {
-  const char* env = std::getenv("CSM_BENCH_THREADS");
-  if (env != nullptr) {
-    long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 0) return static_cast<size_t>(parsed);
-  }
-  return default_threads;
+}  // namespace
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig config;
+  ReadSizeEnv("CSM_BENCH_REPS", /*min=*/1, &config.reps);
+  config.threads_set = ReadSizeEnv("CSM_BENCH_THREADS", /*min=*/0,
+                                   &config.threads);
+  const char* trace = std::getenv("CSM_BENCH_TRACE");
+  if (trace != nullptr) config.trace_prefix = trace;
+  ReadSizeEnv("CSM_BENCH_CLIENTS", /*min=*/1, &config.clients);
+  ReadSizeEnv("CSM_BENCH_REQUESTS", /*min=*/1, &config.requests);
+  return config;
+}
+
+const BenchConfig& GlobalBenchConfig() {
+  static const BenchConfig config = BenchConfig::FromEnv();
+  return config;
 }
 
 }  // namespace csm

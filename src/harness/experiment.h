@@ -49,14 +49,43 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Number of repetitions the benches use; override with CSM_BENCH_REPS to
-/// trade precision for speed.
-size_t BenchRepetitions(size_t default_reps);
+/// Every CSM_BENCH_* environment knob, read once.  Bench binaries share
+/// this one struct instead of scattering getenv calls: a knob unset in the
+/// environment leaves the bench's own default in force (the accessors take
+/// that default), so `bench_x` and `CSM_BENCH_REPS=2 bench_x` differ only
+/// in the overridden knob.
+struct BenchConfig {
+  /// CSM_BENCH_REPS: repetitions per data point (0 = bench default).
+  size_t reps = 0;
+  /// CSM_BENCH_THREADS: engine worker threads; distinguishes "unset" from
+  /// an explicit 0 (= all hardware threads).  Results are identical at any
+  /// value.
+  bool threads_set = false;
+  size_t threads = 0;
+  /// CSM_BENCH_TRACE: Chrome-trace filename prefix; empty = tracing off.
+  std::string trace_prefix;
+  /// CSM_BENCH_CLIENTS / CSM_BENCH_REQUESTS: load-generator shape for
+  /// bench_service_load (0 = bench default).
+  size_t clients = 0;
+  size_t requests = 0;
 
-/// Worker threads the benches run ContextMatch with; override with
-/// CSM_BENCH_THREADS (0 = all hardware threads — see
-/// ContextMatchOptions::threads).  Results are identical at any value.
-size_t BenchThreads(size_t default_threads);
+  /// Reads the environment; never fails (malformed values = unset).
+  static BenchConfig FromEnv();
+
+  size_t Repetitions(size_t default_reps) const {
+    return reps > 0 ? reps : default_reps;
+  }
+  size_t Threads(size_t default_threads) const {
+    return threads_set ? threads : default_threads;
+  }
+  /// Null when tracing is off (mirrors the old BenchTracePrefix helper).
+  const char* TracePrefix() const {
+    return trace_prefix.empty() ? nullptr : trace_prefix.c_str();
+  }
+};
+
+/// The process-wide BenchConfig, read from the environment on first use.
+const BenchConfig& GlobalBenchConfig();
 
 }  // namespace csm
 

@@ -1,0 +1,71 @@
+#include "service/disk_store.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace csm {
+
+DiskSessionStore::DiskSessionStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string DiskSessionStore::PathForKey(uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.csmss",
+                static_cast<unsigned long long>(key));
+  return directory_ + "/" + name;
+}
+
+bool DiskSessionStore::Load(uint64_t key, std::string* blob) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++loads_;
+  }
+  std::FILE* f = std::fopen(PathForKey(key).c_str(), "rb");
+  if (f == nullptr) return false;
+  blob->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    blob->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++load_hits_;
+  return true;
+}
+
+bool DiskSessionStore::Store(uint64_t key, const std::string& blob) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);  // best effort
+  const std::string path = PathForKey(key);
+  // Unique-enough temp name: pid keeps concurrent processes apart; within a
+  // process only one engine writes a given key at a time.
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%ld",
+                static_cast<long>(::getpid()));
+  const std::string tmp = path + suffix;
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stores_;
+  return true;
+}
+
+}  // namespace csm

@@ -1,0 +1,51 @@
+// DiskSessionStore: the filesystem-backed cold session tier.
+//
+// One file per key under a spool directory, named by the 16-hex-digit key
+// with a ".csmss" extension.  Store() writes to a temp file and renames it
+// into place, so readers (including other processes sharing the directory)
+// only ever observe complete blobs — concurrent writers race benignly to
+// last-writer-wins, which is fine because equal keys hold equal content.
+//
+// The store is deliberately dumb: no index, no eviction, no locking.  The
+// engine treats every blob as untrusted and re-validates on parse, so a
+// truncated or stale file costs one rebuild, nothing else.  Callers that
+// care about disk growth can prune *.csmss files externally.
+
+#ifndef CSM_SERVICE_DISK_STORE_H_
+#define CSM_SERVICE_DISK_STORE_H_
+
+#include <mutex>
+#include <string>
+
+#include "core/session_store.h"
+
+namespace csm {
+
+class DiskSessionStore : public SessionColdStore {
+ public:
+  /// `directory` is created (recursively) on first Store if missing.
+  explicit DiskSessionStore(std::string directory);
+
+  bool Load(uint64_t key, std::string* blob) override;
+  bool Store(uint64_t key, const std::string& blob) override;
+
+  /// Path a key maps to (for tests and external pruning).
+  std::string PathForKey(uint64_t key) const;
+
+  uint64_t loads() const { return loads_; }
+  uint64_t load_hits() const { return load_hits_; }
+  uint64_t stores() const { return stores_; }
+
+ private:
+  std::string directory_;
+  /// Counter updates only; file I/O runs unlocked (rename is the atomicity
+  /// story, not this mutex).
+  mutable std::mutex mu_;
+  uint64_t loads_ = 0;
+  uint64_t load_hits_ = 0;
+  uint64_t stores_ = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_SERVICE_DISK_STORE_H_

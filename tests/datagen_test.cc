@@ -364,14 +364,44 @@ TEST(ExperimentTest, StopwatchMeasuresElapsed) {
   EXPECT_LT(watch.Seconds(), 1.0);
 }
 
-TEST(ExperimentTest, BenchRepetitionsDefault) {
+TEST(ExperimentTest, BenchConfigFromEnv) {
   unsetenv("CSM_BENCH_REPS");
-  EXPECT_EQ(BenchRepetitions(8), 8u);
+  unsetenv("CSM_BENCH_THREADS");
+  unsetenv("CSM_BENCH_TRACE");
+  unsetenv("CSM_BENCH_CLIENTS");
+  unsetenv("CSM_BENCH_REQUESTS");
+  BenchConfig config = BenchConfig::FromEnv();
+  EXPECT_EQ(config.Repetitions(8), 8u);
+  EXPECT_EQ(config.Threads(1), 1u);
+  EXPECT_EQ(config.TracePrefix(), nullptr);
+  EXPECT_EQ(config.clients, 0u);
+
   setenv("CSM_BENCH_REPS", "3", 1);
-  EXPECT_EQ(BenchRepetitions(8), 3u);
+  // An explicit THREADS=0 means "all hardware threads", distinct from unset.
+  setenv("CSM_BENCH_THREADS", "0", 1);
+  setenv("CSM_BENCH_TRACE", "/tmp/trace", 1);
+  setenv("CSM_BENCH_CLIENTS", "12", 1);
+  setenv("CSM_BENCH_REQUESTS", "240", 1);
+  config = BenchConfig::FromEnv();
+  EXPECT_EQ(config.Repetitions(8), 3u);
+  EXPECT_TRUE(config.threads_set);
+  EXPECT_EQ(config.Threads(1), 0u);
+  EXPECT_STREQ(config.TracePrefix(), "/tmp/trace");
+  EXPECT_EQ(config.clients, 12u);
+  EXPECT_EQ(config.requests, 240u);
+
+  // Malformed values read as unset.
   setenv("CSM_BENCH_REPS", "junk", 1);
-  EXPECT_EQ(BenchRepetitions(8), 8u);
+  setenv("CSM_BENCH_THREADS", "-2", 1);
+  config = BenchConfig::FromEnv();
+  EXPECT_EQ(config.Repetitions(8), 8u);
+  EXPECT_FALSE(config.threads_set);
+
   unsetenv("CSM_BENCH_REPS");
+  unsetenv("CSM_BENCH_THREADS");
+  unsetenv("CSM_BENCH_TRACE");
+  unsetenv("CSM_BENCH_CLIENTS");
+  unsetenv("CSM_BENCH_REQUESTS");
 }
 
 }  // namespace

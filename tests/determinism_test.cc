@@ -315,5 +315,71 @@ TEST(MatchEngineTest, ConjunctiveAndTargetWrappersAgree) {
   }
 }
 
+// The unified Execute entrypoint must be bit-identical to the legacy
+// wrappers for every mode — the wrappers are contractually thin shims, and
+// this is what lets callers migrate without re-validating results.
+TEST(MatchEngineTest, ExecuteMatchesLegacyEntrypointsBitIdentically) {
+  RetailOptions d;
+  d.num_items = 120;
+  d.gamma = 2;
+  d.seed = 11;
+  RetailDataset data = MakeRetailDataset(d);
+  ContextMatchOptions o;
+  o.omega = 0.05;
+  o.seed = 12;
+  o.threads = 2;
+
+  MatchRequest request;
+  request.source = BorrowDatabase(data.source);
+  request.target = BorrowDatabase(data.target);
+
+  {
+    MatchEngine via_execute(o);
+    MatchEngine via_wrapper(o);
+    request.mode = MatchMode::kContext;
+    EXPECT_EQ(Fingerprint(via_execute.Execute(request).result),
+              Fingerprint(via_wrapper.Match(data.source, data.target)));
+  }
+  {
+    MatchEngine via_execute(o);
+    MatchEngine via_wrapper(o);
+    request.mode = MatchMode::kConjunctive;
+    request.max_stages = 2;
+    EXPECT_EQ(
+        Fingerprint(via_execute.Execute(request).result),
+        Fingerprint(via_wrapper.ConjunctiveMatch(data.source, data.target, 2)));
+    request.max_stages = 1;
+  }
+  {
+    MatchEngine via_execute(o);
+    MatchEngine via_wrapper(o);
+    request.mode = MatchMode::kTargetContext;
+    MatchResponse response = via_execute.Execute(request);
+    TargetContextMatchResult legacy =
+        via_wrapper.TargetContextMatch(data.source, data.target);
+    EXPECT_EQ(Fingerprint(response.result), Fingerprint(legacy.reversed));
+    ASSERT_EQ(response.matches.size(), legacy.matches.size());
+    for (size_t i = 0; i < response.matches.size(); ++i) {
+      EXPECT_EQ(response.matches[i].ToString(), legacy.matches[i].ToString());
+    }
+    ASSERT_EQ(response.selected_views.size(),
+              legacy.selected_target_views.size());
+    for (size_t i = 0; i < response.selected_views.size(); ++i) {
+      EXPECT_EQ(response.selected_views[i].ToString(),
+                legacy.selected_target_views[i].ToString());
+    }
+  }
+
+  // Malformed requests answer kInvalidArgument without running.
+  MatchEngine engine(o);
+  MatchRequest bad;
+  bad.mode = MatchMode::kContext;
+  EXPECT_EQ(engine.Execute(bad).status.code(), StatusCode::kInvalidArgument);
+  bad.source = BorrowDatabase(data.source);
+  bad.target = BorrowDatabase(data.target);
+  bad.max_stages = 0;
+  EXPECT_EQ(engine.Execute(bad).status.code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace csm

@@ -33,6 +33,32 @@ TEST(StatusTest, EveryCodeHasACanonicalSpelling) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+// The exit-code contract csv_match_tool documents ("0 success, 1 tool
+// failure, 2 bad input, 3 degraded-but-answered") derives from this single
+// table; the service's admission rejections reuse it.  A regression here is
+// a CLI-visible behavior change — update the tool docs if intentional.
+TEST(StatusTest, ExitCodeTableCoversEveryCode) {
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kOk), 0);
+
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kInvalidArgument), 2);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kNotFound), 2);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kAlreadyExists), 2);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kFailedPrecondition), 2);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kOutOfRange), 2);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kIoError), 2);
+
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kDeadlineExceeded), 3);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kCancelled), 3);
+
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kUnimplemented), 1);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kInternal), 1);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kResourceExhausted), 1);
+  EXPECT_EQ(ExitCodeForStatus(StatusCode::kUnavailable), 1);
 }
 
 TEST(StatusTest, FactoriesSetCodeAndMessage) {
@@ -51,6 +77,9 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
