@@ -1,0 +1,216 @@
+// Resilience under deterministic chaos: the same closed-loop client fleet
+// as bench_service_load, but driven through MatchClient (retries + backoff
+// + budget) against a service with the self-healing layer enabled
+// (watchdog, CoDel shedding, brownout), while the FaultInjector fails a
+// scripted fraction of dispatches (period-based: every Nth dispatch, a
+// deterministic 0% / 5% / 10% schedule).
+//
+// Reported per fault rate: goodput (fraction of calls answered OK after
+// retries), client retry count, service shed/brownout/fault counters, and
+// the p50/p99 tail the clients observed.  The acceptance bar this bench
+// exists to watch: goodput at a 10% dispatch fault rate stays >= 90% of
+// the fault-free run, with every answer a definitive StatusCode.
+//
+// Knobs (shared BenchConfig): CSM_BENCH_CLIENTS client threads (default 8),
+// CSM_BENCH_REQUESTS calls per scenario (default 240), CSM_BENCH_THREADS
+// engine workers (default all cores).
+//
+// Writes a machine-readable record to BENCH_service_resilience.json (or
+// argv[1]).
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/fault_injector.h"
+#include "exec/thread_pool.h"
+#include "service/match_client.h"
+#include "service/match_service.h"
+
+int main(int argc, char** argv) {
+  using namespace csm;
+  using namespace csm::bench;
+
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_service_resilience.json";
+  const BenchConfig& config = GlobalBenchConfig();
+  const size_t clients = config.clients > 0 ? config.clients : 8;
+  const size_t requests = config.requests > 0 ? config.requests : 240;
+  const size_t engine_threads = config.Threads(/*default_threads=*/0);
+
+  struct Workload {
+    Database source{"source"};
+    Database target{"target"};
+  };
+  std::vector<Workload> workloads;
+  for (size_t k = 0; k < 2; ++k) {
+    RetailOptions options;
+    options.num_items = 80 + 40 * k;
+    options.gamma = 2;
+    options.seed = 100 + k;
+    RetailDataset data = MakeRetailDataset(options);
+    workloads.push_back({std::move(data.source), std::move(data.target)});
+  }
+  for (size_t k = 0; k < 2; ++k) {
+    GradesOptions options;
+    options.seed = 200 + k;
+    GradesDataset data = MakeGradesDataset(options);
+    workloads.push_back({std::move(data.source), std::move(data.target)});
+  }
+
+  // period 0 = fault-free; period N fails every Nth dispatch (1/N rate).
+  struct Scenario {
+    const char* name;
+    uint64_t period;
+    double rate;
+  };
+  const Scenario scenarios[] = {
+      {"fault_0pct", 0, 0.0},
+      {"fault_5pct", 20, 0.05},
+      {"fault_10pct", 10, 0.10},
+  };
+
+  struct Row {
+    const Scenario* scenario;
+    double wall_seconds = 0.0;
+    size_t ok = 0;
+    uint64_t retries = 0;
+    uint64_t shed = 0;
+    uint64_t brownout_runs = 0;
+    uint64_t dispatch_faults = 0;
+    uint64_t watchdog_cancels = 0;
+    double p50 = 0.0, p99 = 0.0;
+  };
+  std::vector<Row> rows;
+
+  std::printf(
+      "service resilience: %zu client threads, %zu calls/scenario, "
+      "engine threads=%zu\n",
+      clients, requests, engine_threads);
+
+  for (const Scenario& scenario : scenarios) {
+    FaultInjector::DisarmAll();
+    if (scenario.period > 0) {
+      FaultInjector::ArmSpec spec;
+      spec.site = "service.dispatch";
+      spec.action = FaultInjector::Action::kFail;
+      spec.fire_limit = 0;  // sustained schedule
+      spec.period = scenario.period;
+      FaultInjector::Arm(spec);
+    }
+
+    ServiceOptions options;
+    options.engine = DefaultMatch();
+    options.engine.threads = engine_threads;
+    options.max_queue = clients + 1;
+    options.watchdog_interval_ms = 200;
+    options.queue_target_ms = 2000;  // shed only pathological queue delays
+    options.shed_min_depth = clients;
+    MatchService service(options);
+
+    MatchClientOptions client_options;
+    client_options.retry.max_attempts = 3;
+    client_options.retry.initial_backoff_ms = 1.0;
+    client_options.retry.max_backoff_ms = 20.0;
+    client_options.retry_budget_capacity = 0.2 * requests;
+    MatchClient client(service, client_options);
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> ok{0};
+    Stopwatch wall;
+    std::vector<std::thread> fleet;
+    fleet.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      fleet.emplace_back([&] {
+        for (;;) {
+          const size_t id = next.fetch_add(1);
+          if (id >= requests) return;
+          const Workload& w = workloads[id % workloads.size()];
+          MatchRequest request;
+          request.tenant = "tenant-" + std::to_string(id % 4);
+          request.deadline_ms = 60000 + static_cast<int64_t>(id);
+          request.source = BorrowDatabase(w.source);
+          request.target = BorrowDatabase(w.target);
+          if (client.Call(request).ok()) ok.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : fleet) t.join();
+
+    Row row;
+    row.scenario = &scenario;
+    row.wall_seconds = wall.Seconds();
+    service.Stop();
+    row.ok = ok.load();
+    row.retries = client.retries();
+    const obs::PhaseReport report = service.metrics().Snapshot();
+    row.shed = report.Count("service.shed_aged");
+    row.brownout_runs = report.Count("service.brownout_runs");
+    row.dispatch_faults = report.Count("service.dispatch_faults");
+    row.watchdog_cancels = report.Count("service.watchdog_stall_cancels") +
+                           report.Count("service.watchdog_deadline_cancels");
+    const obs::HistogramSummary total =
+        report.Histogram("service.total_seconds");
+    row.p50 = total.p50;
+    row.p99 = total.p99;
+    rows.push_back(row);
+
+    std::printf(
+        "%-11s goodput %zu/%zu (%.1f%%)  retries %llu  faults %llu  "
+        "shed %llu  p50 %.4fs  p99 %.4fs  wall %.2fs\n",
+        scenario.name, row.ok, requests, 100.0 * row.ok / requests,
+        static_cast<unsigned long long>(row.retries),
+        static_cast<unsigned long long>(row.dispatch_faults),
+        static_cast<unsigned long long>(row.shed), row.p50, row.p99,
+        row.wall_seconds);
+  }
+  FaultInjector::DisarmAll();
+
+  const double base_goodput =
+      rows[0].ok > 0 ? static_cast<double>(rows[0].ok) : 1.0;
+  const double worst_ratio = rows.back().ok / base_goodput;
+  std::printf("\ngoodput at 10%% faults = %.1f%% of fault-free (floor: 90%%)\n",
+              100.0 * worst_ratio);
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"service_resilience\",\n"
+               "  \"workload\": {\"clients\": %zu, \"requests\": %zu,"
+               " \"distinct_workloads\": %zu, \"engine_threads\": %zu,"
+               " \"retry_max_attempts\": 3},\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"goodput_ratio_at_10pct\": %.4f,\n"
+               "  \"scenarios\": [\n",
+               clients, requests, workloads.size(), engine_threads,
+               exec::ThreadPool::HardwareThreads(), worst_ratio);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"fault_rate\": %.2f,"
+        " \"goodput\": %zu, \"calls\": %zu, \"retries\": %llu,"
+        " \"dispatch_faults\": %llu, \"shed\": %llu,"
+        " \"brownout_runs\": %llu, \"watchdog_cancels\": %llu,"
+        " \"p50_seconds\": %.5f, \"p99_seconds\": %.5f,"
+        " \"wall_seconds\": %.3f}%s\n",
+        row.scenario->name, row.scenario->rate, row.ok, requests,
+        static_cast<unsigned long long>(row.retries),
+        static_cast<unsigned long long>(row.dispatch_faults),
+        static_cast<unsigned long long>(row.shed),
+        static_cast<unsigned long long>(row.brownout_runs),
+        static_cast<unsigned long long>(row.watchdog_cancels), row.p50,
+        row.p99, row.wall_seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return rows.back().ok * 10 >= rows[0].ok * 9 ? 0 : 1;
+}

@@ -14,9 +14,17 @@
 // rebuilding them.
 //
 // Build & run:  ./build/examples/match_service_daemon [spool_dir]
+//               ./build/examples/match_service_daemon --health [spool_dir]
+//
+// `--health` brings a service up with the self-healing layer enabled
+// (watchdog, shedding, brownout, breaker), serves one probe request, and
+// prints the HealthSnapshot as JSON — the readiness answer an operator or
+// load balancer would scrape.  Exit code 0 iff the service reports ready.
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -25,8 +33,53 @@
 #include "service/disk_store.h"
 #include "service/match_service.h"
 
+namespace {
+
+/// --health: stand the resilient service up, probe it, report readiness.
+int RunHealthCheck(const std::string& spool) {
+  using namespace csm;
+  RetailOptions retail_options;
+  retail_options.num_items = 60;
+  retail_options.seed = 7;
+  RetailDataset retail = MakeRetailDataset(retail_options);
+
+  DiskSessionStore store(spool);
+  ServiceOptions options;
+  options.engine.threads = 0;
+  options.cold_store = &store;
+  options.watchdog_interval_ms = 100;
+  options.queue_target_ms = 500;
+  options.shed_min_depth = 4;
+  options.brownout_enter_fraction = 0.75;
+  options.brownout_exit_fraction = 0.25;
+  options.breaker.failure_threshold = 5;
+  MatchService service(options);
+
+  MatchRequest probe;
+  probe.source = BorrowDatabase(retail.source);
+  probe.target = BorrowDatabase(retail.target);
+  const bool probe_ok = service.Call(probe).ok();
+
+  const HealthSnapshot health = service.Health();
+  std::printf("%s\n", health.ToJson().c_str());
+  std::fprintf(stderr, "health: %s; probe %s\n", health.ToString().c_str(),
+               probe_ok ? "ok" : "FAILED");
+  service.Stop();
+  return health.ready && probe_ok ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace csm;
+
+  if (argc > 1 && std::strcmp(argv[1], "--health") == 0) {
+    const std::string health_spool =
+        argc > 2 ? argv[2]
+                 : (std::filesystem::temp_directory_path() / "csm_spool_health")
+                       .string();
+    return RunHealthCheck(health_spool);
+  }
 
   const std::string spool =
       argc > 1 ? argv[1]

@@ -70,6 +70,7 @@ bool FaultInjector::Hit(std::string_view site, uint64_t index) {
       const ArmSpec& spec = armed.spec;
       if (spec.site != site) continue;
       if (spec.index != kAnyIndex && spec.index != index) continue;
+      if (spec.period > 0 && index % spec.period != 0) continue;
       if (spec.fire_limit != 0 && armed.fires >= spec.fire_limit) continue;
       ++armed.fires;
       ++registry.fire_counts[std::string(site)];

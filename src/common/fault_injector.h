@@ -61,6 +61,11 @@ class FaultInjector {
     int64_t sleep_ms = 0;          // for kSleep
     /// Times this spec may fire; 0 = unlimited.
     uint64_t fire_limit = 1;
+    /// Rate-based firing: when > 0 the spec matches only indices with
+    /// index % period == 0, i.e. a deterministic 1/period fault rate over
+    /// the site's logical index stream (combine with fire_limit = 0 for a
+    /// sustained schedule).  0 keeps the exact-index / any-index behavior.
+    uint64_t period = 0;
   };
 
   /// Registers a spec (several may be armed at once).

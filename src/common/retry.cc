@@ -1,0 +1,161 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace csm {
+
+bool IsRetryableStatus(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
+
+double RetryPolicy::NextBackoffMs(double previous_ms, Rng& rng) const {
+  const double base = std::max(initial_backoff_ms, 0.0);
+  const double prev = std::max(previous_ms, base);
+  // Decorrelated jitter: uniform in [base, 3 * prev], clamped.  The upper
+  // bound grows with the previous draw, so consecutive retries spread out
+  // exponentially in expectation without synchronizing across clients.
+  const double hi = std::max(base, 3.0 * prev);
+  const double drawn = rng.NextDouble(base, std::nextafter(hi, hi + 1.0));
+  return std::min(drawn, max_backoff_ms);
+}
+
+RetryBudget::RetryBudget(double capacity, double refill_per_success)
+    : capacity_(capacity),
+      refill_per_success_(std::max(refill_per_success, 0.0)),
+      tokens_(capacity) {}
+
+bool RetryBudget::TrySpend() {
+  if (capacity_ <= 0.0) return true;  // unlimited
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void RetryBudget::RecordSuccess() {
+  if (capacity_ <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(capacity_, tokens_ + refill_per_success_);
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(std::move(options)) {}
+
+int64_t CircuitBreaker::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool CircuitBreaker::IsTripCode(StatusCode code) const {
+  for (StatusCode trip : options_.trip_codes) {
+    if (code == trip) return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::Allow() {
+  if (options_.failure_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (NowMs() - opened_at_ms_ < options_.open_ms) return false;
+      // The cooling-off period elapsed: admit exactly one probe.
+      state_ = State::kHalfOpen;
+      half_open_successes_ = 0;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++half_open_successes_ >= std::max(options_.successes_to_close, 1)) {
+      state_ = State::kClosed;
+    }
+  }
+}
+
+void CircuitBreaker::ReleaseProbe() {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure(StatusCode code) {
+  if (options_.failure_threshold <= 0) return;
+  if (!IsTripCode(code)) {
+    // Neutral outcome: judges nothing, but must not strand a half-open
+    // probe slot.
+    ReleaseProbe();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_ms_ = NowMs();
+        ++trips_;
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: straight back to open for another full window.
+      probe_in_flight_ = false;
+      state_ = State::kOpen;
+      opened_at_ms_ = NowMs();
+      ++trips_;
+      break;
+    case State::kOpen:
+      break;  // stale outcome from before the trip; nothing to update
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+const char* CircuitBreaker::StateToString(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kHalfOpen:
+      return "half-open";
+    case State::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+}  // namespace csm

@@ -1,0 +1,171 @@
+// Retry and circuit-breaking primitives for the self-healing service layer.
+//
+// Three small, independently testable pieces:
+//
+//   * RetryPolicy — exponential backoff with *decorrelated jitter*: each
+//     delay is drawn uniformly from [base, 3 * previous] (AWS architecture
+//     blog recipe), clamped to max_backoff_ms.  The draw comes from a
+//     caller-supplied deterministic Rng, so a retry schedule is a pure
+//     function of (policy, seed) and replays bit-identically in tests and
+//     chaos runs.
+//
+//   * RetryBudget — a token bucket over *retries* (not requests): every
+//     retry spends one token, every first-attempt success refills a
+//     fraction.  When a fleet of clients hits a failing backend, budgets
+//     collapse the retry storm to a bounded multiple of the success rate
+//     instead of amplifying the outage.
+//
+//   * CircuitBreaker — the classic closed / open / half-open state machine.
+//     `failure_threshold` consecutive trip-class failures (kUnavailable /
+//     kDeadlineExceeded by default, configurable) open the circuit; while
+//     open every Allow() is refused without touching the backend; after
+//     open_ms one half-open *probe* is admitted — exactly one, concurrent
+//     Allow() calls keep being refused — and its outcome closes the breaker
+//     or re-opens it for another open_ms.
+//
+// Determinism: the breaker takes its clock from options.now_ms, so tests
+// drive the state machine with a manual clock instead of sleeping.  All
+// three classes are internally synchronized (they sit on request paths
+// called from many client threads).
+
+#ifndef CSM_COMMON_RETRY_H_
+#define CSM_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace csm {
+
+/// Which StatusCodes an automatic retry may help with.  Rejections of spent
+/// resources (kResourceExhausted) and unavailability (kUnavailable) are
+/// transient by construction; everything else either already consumed the
+/// caller's budget (kDeadlineExceeded) or will fail the same way again.
+bool IsRetryableStatus(StatusCode code);
+
+/// Exponential backoff with decorrelated jitter.  Value type; carry one per
+/// client and thread the previous delay through NextBackoffMs.
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 disables retries.
+  int max_attempts = 3;
+  /// First backoff and the lower bound of every jittered draw.
+  double initial_backoff_ms = 5.0;
+  /// Upper clamp on any single backoff.
+  double max_backoff_ms = 500.0;
+
+  /// The delay before the next attempt, given the previous delay (pass 0
+  /// before the first retry).  Draws from `rng`: uniform in
+  /// [initial_backoff_ms, 3 * max(previous_ms, initial_backoff_ms)],
+  /// clamped to max_backoff_ms.
+  double NextBackoffMs(double previous_ms, Rng& rng) const;
+};
+
+/// A token bucket spent by retries and refilled by first-attempt successes.
+/// Thread-safe.
+class RetryBudget {
+ public:
+  /// `capacity` tokens to start (and as the cap); each success refills
+  /// `refill_per_success` tokens.  capacity <= 0 means "unlimited".
+  explicit RetryBudget(double capacity = 10.0,
+                       double refill_per_success = 0.1);
+
+  /// Spends one token; false when the budget is exhausted (caller must not
+  /// retry).
+  bool TrySpend();
+
+  /// Credits a first-attempt success.
+  void RecordSuccess();
+
+  double tokens() const;
+
+ private:
+  const double capacity_;
+  const double refill_per_success_;
+  mutable std::mutex mu_;
+  double tokens_;
+};
+
+struct CircuitBreakerOptions {
+  /// Consecutive trip-class failures that open the circuit; 0 disables the
+  /// breaker entirely (Allow always true, Record* no-ops).
+  int failure_threshold = 5;
+  /// How long an open circuit refuses work before admitting the half-open
+  /// probe.
+  int64_t open_ms = 1000;
+  /// Successes the half-open state needs before closing (each admitted one
+  /// at a time).
+  int successes_to_close = 1;
+  /// StatusCodes that count as trip-class failures.  Defaults to
+  /// kUnavailable + kDeadlineExceeded + kInternal: the backend is down,
+  /// drowning, or broken.  Everything else (including kResourceExhausted,
+  /// which admission control already bounds) resets nothing and trips
+  /// nothing.
+  std::vector<StatusCode> trip_codes = {StatusCode::kUnavailable,
+                                        StatusCode::kDeadlineExceeded,
+                                        StatusCode::kInternal};
+  /// Clock in milliseconds; tests substitute a manual clock to drive the
+  /// open -> half-open transition without sleeping.  Null = steady_clock.
+  std::function<int64_t()> now_ms;
+};
+
+/// Options with the breaker disabled (Allow always true, Record* no-ops);
+/// the default for every embedded breaker so resilience stays opt-in.
+inline CircuitBreakerOptions DisabledBreakerOptions() {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 0;
+  return options;
+}
+
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// True when a request may proceed.  While open, flips to half-open once
+  /// open_ms elapsed and admits exactly one probe; further calls are
+  /// refused until the probe reports its outcome.
+  bool Allow();
+
+  /// Outcome of an admitted request.  Success closes a half-open circuit
+  /// (after successes_to_close) and clears the consecutive-failure count;
+  /// a trip-class failure re-opens a half-open circuit immediately and
+  /// counts toward failure_threshold when closed.
+  void RecordSuccess();
+  void RecordFailure(StatusCode code);
+
+  /// Releases a half-open probe slot when the admitted request was answered
+  /// without reaching the backend (shed, expired in queue, drained at
+  /// stop): the probe judged nothing, so another one may go out.  No-op in
+  /// any other state.  RecordFailure with a non-trip code does this too.
+  void ReleaseProbe();
+
+  State state() const;
+  /// Trip-class failures observed in a row while closed.
+  int consecutive_failures() const;
+  /// Times the circuit transitioned closed/half-open -> open.
+  uint64_t trips() const;
+
+  static const char* StateToString(State state);
+
+ private:
+  int64_t NowMs() const;
+  bool IsTripCode(StatusCode code) const;
+
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t opened_at_ms_ = 0;
+  uint64_t trips_ = 0;
+};
+
+}  // namespace csm
+
+#endif  // CSM_COMMON_RETRY_H_

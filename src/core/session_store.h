@@ -61,6 +61,11 @@ class SessionColdStore {
   /// engine just rebuilt the sessions, losing the write costs a future
   /// rebuild, nothing else).
   virtual bool Store(uint64_t key, const std::string& blob) = 0;
+
+  /// Health introspection: blobs this store has set aside as corrupt or
+  /// truncated (see DiskSessionStore's quarantine).  Default 0 for stores
+  /// without integrity checking.
+  virtual uint64_t Quarantined() const { return 0; }
 };
 
 /// Serializes one session-cache entry: a versioned header, then per source

@@ -1,16 +1,101 @@
 #include "service/disk_store.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <array>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
 #include <utility>
 
+#include "common/fault_injector.h"
+
 namespace csm {
+namespace {
+
+/// Blob frame: "csmblob 2 <payload_bytes> <crc32-hex>\n".  Version 2 is the
+/// first checksummed format; version-1 blobs (bare payload) fail the frame
+/// parse and are quarantined — one rebuild, never a silent stale read.
+constexpr char kFramePrefix[] = "csmblob 2 ";
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// "<size> <crc-hex>\n" header tail after the prefix.
+std::string FrameHeader(const std::string& payload) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%zu %08x\n", kFramePrefix, payload.size(),
+                Crc32(payload));
+  return buf;
+}
+
+/// Splits `raw` (a whole file) into header and payload and validates size
+/// and checksum.  On success points `payload_out` at the payload bytes.
+bool ValidateFrame(const std::string& raw, std::string* payload_out) {
+  const size_t prefix_len = sizeof(kFramePrefix) - 1;
+  if (raw.compare(0, prefix_len, kFramePrefix) != 0) return false;
+  const size_t eol = raw.find('\n', prefix_len);
+  if (eol == std::string::npos) return false;
+  size_t size = 0;
+  unsigned crc = 0;
+  if (std::sscanf(raw.c_str() + prefix_len, "%zu %x", &size, &crc) != 2) {
+    return false;
+  }
+  if (raw.size() - (eol + 1) != size) return false;  // truncated / padded
+  std::string payload = raw.substr(eol + 1);
+  if (Crc32(payload) != static_cast<uint32_t>(crc)) return false;
+  *payload_out = std::move(payload);
+  return true;
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// fsync on a directory so a just-published rename survives power loss.
+void SyncDirectory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32(const std::string& data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = 0xffffffffu;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
 
 DiskSessionStore::DiskSessionStore(std::string directory)
-    : directory_(std::move(directory)) {}
+    : directory_(std::move(directory)) {
+  RecoverScan();
+}
 
 std::string DiskSessionStore::PathForKey(uint64_t key) const {
   char name[32];
@@ -19,28 +104,67 @@ std::string DiskSessionStore::PathForKey(uint64_t key) const {
   return directory_ + "/" + name;
 }
 
+void DiskSessionStore::Quarantine(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantine", ec);
+  if (ec) std::remove(path.c_str());  // cannot rename: drop it instead
+  std::lock_guard<std::mutex> lock(mu_);
+  ++quarantined_;
+}
+
+size_t DiskSessionStore::RecoverScan() {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory_, ec)) return 0;
+  size_t quarantined = 0;
+  uint64_t valid = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    const std::string path = entry.path().string();
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      // A writer died between open and rename; the final name was never
+      // published, so the temp file is pure garbage.
+      std::remove(path.c_str());
+      continue;
+    }
+    if (entry.path().extension() != ".csmss") continue;
+    std::string raw, payload;
+    if (!ReadWholeFile(path, &raw) || !ValidateFrame(raw, &payload)) {
+      Quarantine(path);
+      ++quarantined;
+      continue;
+    }
+    ++valid;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  recovered_valid_ = valid;
+  return quarantined;
+}
+
 bool DiskSessionStore::Load(uint64_t key, std::string* blob) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++loads_;
   }
-  std::FILE* f = std::fopen(PathForKey(key).c_str(), "rb");
-  if (f == nullptr) return false;
-  blob->clear();
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    blob->append(buf, n);
+  const std::string path = PathForKey(key);
+  std::string raw;
+  if (!ReadWholeFile(path, &raw)) return false;
+  if (!ValidateFrame(raw, blob)) {
+    // Torn, truncated or bit-rotted: set it aside for post-mortems and
+    // report a miss — the engine rebuilds and re-publishes a good blob.
+    Quarantine(path);
+    return false;
   }
-  const bool ok = std::ferror(f) == 0;
-  std::fclose(f);
-  if (!ok) return false;
   std::lock_guard<std::mutex> lock(mu_);
   ++load_hits_;
   return true;
 }
 
 bool DiskSessionStore::Store(uint64_t key, const std::string& blob) {
+  // Fault site "store.write" (index = store key): a kFail arm drops this
+  // write (simulated disk failure — non-fatal, the engine keeps its
+  // in-memory sessions), kSleep simulates a slow disk.
+  if (FaultInjector::Hit("store.write", key)) return false;
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);  // best effort
   const std::string path = PathForKey(key);
@@ -52,7 +176,15 @@ bool DiskSessionStore::Store(uint64_t key, const std::string& blob) {
   const std::string tmp = path + suffix;
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
-  const bool wrote = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  const std::string header = FrameHeader(blob);
+  bool wrote =
+      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+      std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  // Durability before visibility: flush user-space buffers and fsync the
+  // file BEFORE the rename publishes it.  Without this, a crash after the
+  // rename could publish a name whose bytes never reached the disk — the
+  // torn-blob case the CRC frame exists to catch, but better never made.
+  if (wrote) wrote = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   const bool closed = std::fclose(f) == 0;
   if (!wrote || !closed) {
     std::remove(tmp.c_str());
@@ -63,9 +195,32 @@ bool DiskSessionStore::Store(uint64_t key, const std::string& blob) {
     std::remove(tmp.c_str());
     return false;
   }
+  // And fsync the directory so the rename itself is durable.
+  SyncDirectory(directory_);
   std::lock_guard<std::mutex> lock(mu_);
   ++stores_;
   return true;
+}
+
+uint64_t DiskSessionStore::loads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loads_;
+}
+uint64_t DiskSessionStore::load_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return load_hits_;
+}
+uint64_t DiskSessionStore::stores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_;
+}
+uint64_t DiskSessionStore::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+uint64_t DiskSessionStore::recovered_valid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_valid_;
 }
 
 }  // namespace csm

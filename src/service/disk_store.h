@@ -1,19 +1,33 @@
-// DiskSessionStore: the filesystem-backed cold session tier.
+// DiskSessionStore: the filesystem-backed cold session tier, crash-safe.
 //
 // One file per key under a spool directory, named by the 16-hex-digit key
-// with a ".csmss" extension.  Store() writes to a temp file and renames it
-// into place, so readers (including other processes sharing the directory)
-// only ever observe complete blobs — concurrent writers race benignly to
-// last-writer-wins, which is fine because equal keys hold equal content.
+// with a ".csmss" extension.  Every blob is framed by a versioned header
+// line carrying the payload size and a CRC32 of the payload:
 //
-// The store is deliberately dumb: no index, no eviction, no locking.  The
-// engine treats every blob as untrusted and re-validates on parse, so a
-// truncated or stale file costs one rebuild, nothing else.  Callers that
-// care about disk growth can prune *.csmss files externally.
+//   csmblob 2 <payload_bytes> <crc32-hex>\n<payload>
+//
+// Store() writes header + payload to a temp file, fsyncs the file, renames
+// it into place and fsyncs the directory — the publish is atomic AND
+// durable, so neither a concurrent reader nor a crash at any point can
+// observe a torn blob under the final name.  Load() re-validates the frame
+// (size and checksum) and *quarantines* — renames to "<name>.quarantine" —
+// anything torn, truncated or bit-rotted instead of returning it; the
+// engine then rebuilds, and the bad blob stays on disk for post-mortems.
+//
+// Construction runs a recovery scan over the spool: leftover temp files
+// from crashed writers are deleted and every *.csmss frame is validated,
+// quarantining corrupt survivors up front so a restarted service never
+// trips over them mid-request (see resilience_test kill-and-restart).
+//
+// The store remains index-free and lock-free on the I/O path: rename is
+// the atomicity story, fsync the durability story, and the CRC frame the
+// integrity story.  Callers that care about disk growth can prune *.csmss
+// and *.quarantine files externally.
 
 #ifndef CSM_SERVICE_DISK_STORE_H_
 #define CSM_SERVICE_DISK_STORE_H_
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 
@@ -21,22 +35,42 @@
 
 namespace csm {
 
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`.  Exposed for tests
+/// that craft corrupt / truncated blob fixtures.
+uint32_t Crc32(const std::string& data);
+
 class DiskSessionStore : public SessionColdStore {
  public:
-  /// `directory` is created (recursively) on first Store if missing.
+  /// `directory` is created (recursively) on first Store if missing.  If it
+  /// already exists, a recovery scan validates every blob and quarantines
+  /// corrupt ones (see RecoverScan).
   explicit DiskSessionStore(std::string directory);
 
   bool Load(uint64_t key, std::string* blob) override;
   bool Store(uint64_t key, const std::string& blob) override;
 
+  /// Validates every *.csmss frame under the directory, renames failures to
+  /// "<name>.quarantine", and deletes leftover "*.tmp.*" files from crashed
+  /// writers.  Idempotent; runs at construction.  Returns the number of
+  /// blobs quarantined by this scan.
+  size_t RecoverScan();
+
   /// Path a key maps to (for tests and external pruning).
   std::string PathForKey(uint64_t key) const;
 
-  uint64_t loads() const { return loads_; }
-  uint64_t load_hits() const { return load_hits_; }
-  uint64_t stores() const { return stores_; }
+  uint64_t loads() const;
+  uint64_t load_hits() const;
+  uint64_t stores() const;
+  /// Blobs quarantined (by Load validation or RecoverScan) since creation.
+  uint64_t quarantined() const;
+  uint64_t Quarantined() const override { return quarantined(); }
+  /// Valid blobs counted by the last RecoverScan.
+  uint64_t recovered_valid() const;
 
  private:
+  /// Renames `path` to "<path>.quarantine" (best effort) and counts it.
+  void Quarantine(const std::string& path);
+
   std::string directory_;
   /// Counter updates only; file I/O runs unlocked (rename is the atomicity
   /// story, not this mutex).
@@ -44,6 +78,8 @@ class DiskSessionStore : public SessionColdStore {
   uint64_t loads_ = 0;
   uint64_t load_hits_ = 0;
   uint64_t stores_ = 0;
+  uint64_t quarantined_ = 0;
+  uint64_t recovered_valid_ = 0;
 };
 
 }  // namespace csm

@@ -354,14 +354,19 @@ TEST(ColdStoreTest, CorruptBlobFallsBackToFreshBuild) {
   const std::string fresh =
       check::FingerprintResult(writer.Match(data.source, data.target));
 
-  // Truncate every stored blob mid-file.
-  size_t corrupted = 0;
+  // Re-store garbage under every key with a VALID frame: the store's CRC
+  // check passes, so the blob reaches the engine's parse-level validation
+  // and must be rejected there (raw overwrites would be quarantined by the
+  // frame check before the engine ever saw them — see resilience_test).
+  std::vector<uint64_t> keys;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    std::ofstream out(entry.path(), std::ios::trunc);
-    out << "csm-sessions 1\ntables 1\ngarbage\n";
-    ++corrupted;
+    if (entry.path().extension() != ".csmss") continue;
+    keys.push_back(std::stoull(entry.path().stem().string(), nullptr, 16));
   }
-  ASSERT_GT(corrupted, 0u);
+  ASSERT_GT(keys.size(), 0u);
+  for (uint64_t key : keys) {
+    ASSERT_TRUE(store.Store(key, "csm-sessions 1\ntables 1\ngarbage\n"));
+  }
 
   obs::MetricsRegistry metrics;
   MatchEngine reader(FastEngine());
