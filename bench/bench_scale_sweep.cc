@@ -1,0 +1,275 @@
+// The million-row scale sweep (DESIGN.md "Streaming ingest & sampling"):
+// generates a scale retail inventory, writes it as CSV, then measures
+//
+//   1. ingest  — streaming (mmap + chunked parallel parse) wall-clock per
+//                thread count, vs the legacy slurp + serial parse, with
+//                rows/sec and speedup-vs-1-thread;
+//   2. chunks  — chunk-size sensitivity at the best thread count (the
+//                autotuned size should sit near the sweep's minimum);
+//   3. training — TableMatchSession build time at full table size vs a
+//                quarter-size table, both capped at the same
+//                max_training_rows: the ratio should hover near 1.0
+//                because training cost follows the cap, not the table.
+//
+// Writes BENCH_scale_sweep.json (or argv[1]).  The speedup-record guard
+// applies: a record from a bigger machine is not overwritten unless
+// CSM_BENCH_FORCE=1.  Knobs: CSM_BENCH_SCALE_ROWS (default 1e6),
+// CSM_BENCH_REPS (default 3).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/scale_gen.h"
+#include "exec/thread_pool.h"
+#include "match/session.h"
+#include "match/matchers.h"
+#include "relational/csv.h"
+
+namespace {
+
+using namespace csm;
+using namespace csm::bench;
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-N wall-clock of `fn` (min absorbs scheduling noise better than
+/// mean for short IO-bound runs).
+template <typename Fn>
+double BestOf(size_t reps, const Fn& fn) {
+  double best = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double elapsed = Seconds(t0);
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+double SessionBuildSeconds(const Database& source_db, const Database& target,
+                           size_t max_training_rows, size_t reps) {
+  const Table& source = source_db.tables().front();
+  MatchOptions options;
+  options.max_training_rows = max_training_rows;
+  return BestOf(reps, [&] {
+    TableMatchSession session(source, target, DefaultMatcherSuite(), options);
+    (void)session;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_scale_sweep.json";
+  const size_t hardware = exec::ThreadPool::HardwareThreads();
+  const size_t rows = GlobalBenchConfig().scale_rows > 0
+                          ? GlobalBenchConfig().scale_rows
+                          : 1'000'000;
+  const size_t reps = GlobalBenchConfig().Repetitions(3);
+
+  if (!SpeedupRecordWriteAllowed(json_path, hardware)) return 4;
+  if (hardware == 1) {
+    std::fprintf(stderr,
+                 "*** WARNING: 1 hardware thread; parallel-ingest rows are "
+                 "overhead measurements only.\n");
+  }
+
+  // ---- Generate and write the instance --------------------------------
+  std::printf("generating scale retail instance (%zu rows)...\n", rows);
+  auto t0 = std::chrono::steady_clock::now();
+  ScaleRetailOptions gen;
+  gen.source_rows = rows;
+  gen.target_rows_per_table = std::max<size_t>(1, rows / 10);
+  gen.threads = 0;
+  RetailDataset data = MakeScaleRetailDataset(gen);
+  const double gen_seconds = Seconds(t0);
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "csm_scale_sweep";
+  fs::create_directories(dir);
+  const Table& inventory = data.source.tables().front();
+  const std::string csv_path = (dir / "inventory.csv").string();
+  t0 = std::chrono::steady_clock::now();
+  if (!WriteCsvFile(inventory, csv_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  const double write_seconds = Seconds(t0);
+  const size_t file_bytes = fs::file_size(dir / "inventory.csv");
+  std::printf("generated in %.2fs, wrote %zu bytes in %.2fs\n\n", gen_seconds,
+              file_bytes, write_seconds);
+
+  // ---- 1. Ingest thread sweep ------------------------------------------
+  const double legacy_seconds = BestOf(reps, [&] {
+    auto loaded = ReadCsvFile(inventory.schema(), csv_path);
+    if (!loaded.ok()) std::abort();
+  });
+
+  std::vector<size_t> thread_counts = {1, 2, 4};
+  if (hardware > 4) thread_counts.push_back(hardware);
+
+  ResultTable ingest_table(
+      "Scale: streaming CSV ingest (vs legacy slurp + serial parse)",
+      {"threads", "seconds", "rows_per_sec", "per_thread", "vs_1thread",
+       "vs_legacy"});
+  struct IngestRow {
+    size_t threads;
+    double seconds, rows_per_sec, speedup_vs_serial, speedup_vs_legacy;
+    size_t chunks;
+    size_t chunk_bytes;
+  };
+  std::vector<IngestRow> ingest_rows;
+  double one_thread_seconds = 0.0;
+  for (size_t threads : thread_counts) {
+    CsvIngestOptions ingest;
+    ingest.threads = threads;
+    CsvIngestStats stats;
+    const double seconds = BestOf(reps, [&] {
+      stats = CsvIngestStats();
+      auto loaded =
+          ReadCsvFileStreaming(inventory.schema(), csv_path, ingest, &stats);
+      if (!loaded.ok() || loaded.value().num_rows() != rows) std::abort();
+    });
+    if (threads == 1) one_thread_seconds = seconds;
+    IngestRow row;
+    row.threads = threads;
+    row.seconds = seconds;
+    row.rows_per_sec = seconds > 0 ? static_cast<double>(rows) / seconds : 0;
+    row.speedup_vs_serial = seconds > 0 ? one_thread_seconds / seconds : 0;
+    row.speedup_vs_legacy = seconds > 0 ? legacy_seconds / seconds : 0;
+    row.chunks = stats.chunks;
+    row.chunk_bytes = stats.chunk_bytes;
+    ingest_rows.push_back(row);
+    ingest_table.AddRow(
+        {std::to_string(threads), ResultTable::Num(row.seconds),
+         ResultTable::Num(row.rows_per_sec, 0),
+         ResultTable::Num(row.rows_per_sec /
+                              static_cast<double>(threads), 0),
+         ResultTable::Num(row.speedup_vs_serial, 2),
+         ResultTable::Num(row.speedup_vs_legacy, 2)});
+  }
+  ingest_table.Print();
+  std::printf("legacy loader: %.3fs\n\n", legacy_seconds);
+
+  // ---- 2. Chunk-size sweep ---------------------------------------------
+  const size_t sweep_threads = std::min<size_t>(hardware, 4);
+  ResultTable chunk_table("Scale: chunk-size sensitivity",
+                          {"chunk_bytes", "seconds", "chunks"});
+  struct ChunkRow {
+    size_t chunk_bytes;
+    double seconds;
+    size_t chunks;
+    bool autotuned;
+  };
+  std::vector<ChunkRow> chunk_rows;
+  const std::vector<size_t> chunk_sizes = {256u << 10, 1u << 20, 4u << 20,
+                                           /*autotune=*/0};
+  for (size_t chunk_bytes : chunk_sizes) {
+    CsvIngestOptions ingest;
+    ingest.threads = sweep_threads;
+    ingest.chunk_bytes = chunk_bytes;
+    CsvIngestStats stats;
+    const double seconds = BestOf(reps, [&] {
+      stats = CsvIngestStats();
+      auto loaded =
+          ReadCsvFileStreaming(inventory.schema(), csv_path, ingest, &stats);
+      if (!loaded.ok()) std::abort();
+    });
+    chunk_rows.push_back(
+        {stats.chunk_bytes, seconds, stats.chunks, chunk_bytes == 0});
+    chunk_table.AddRow({std::to_string(stats.chunk_bytes) +
+                            (chunk_bytes == 0 ? " (auto)" : ""),
+                        ResultTable::Num(seconds),
+                        std::to_string(stats.chunks)});
+  }
+  chunk_table.Print();
+  std::printf("\n");
+
+  // ---- 3. Training-cost independence -----------------------------------
+  const size_t cap = 2000;
+  Database quarter("source");
+  {
+    PosList prefix(rows / 4);
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      prefix[i] = static_cast<RowId>(i);
+    }
+    quarter.AddTable(inventory.SelectRows(prefix));
+  }
+  const double full_seconds =
+      SessionBuildSeconds(data.source, data.target, cap, reps);
+  const double quarter_seconds =
+      SessionBuildSeconds(quarter, data.target, cap, reps);
+  const double ratio =
+      quarter_seconds > 0 ? full_seconds / quarter_seconds : 0.0;
+  std::printf(
+      "session build @cap=%zu: full (%zu rows) %.3fs, quarter (%zu rows) "
+      "%.3fs, ratio %.2f (≈1.0 = cost independent of table size)\n",
+      cap, rows, full_seconds, rows / 4, quarter_seconds, ratio);
+
+  // ---- JSON -------------------------------------------------------------
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"scale_sweep\",\n"
+               "  \"workload\": {\"dataset\": \"scale_retail\","
+               " \"source_rows\": %zu, \"file_bytes\": %zu,"
+               " \"repetitions\": %zu},\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"datagen_seconds\": %.3f,\n"
+               "  \"legacy_ingest_seconds\": %.4f,\n"
+               "  \"ingest\": [\n",
+               rows, file_bytes, reps, hardware, gen_seconds, legacy_seconds);
+  for (size_t i = 0; i < ingest_rows.size(); ++i) {
+    const IngestRow& r = ingest_rows[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"seconds\": %.4f,"
+                 " \"rows_per_sec\": %.0f, \"rows_per_sec_per_thread\": %.0f,"
+                 " \"chunks\": %zu, \"chunk_bytes\": %zu,"
+                 " \"speedup_vs_1thread\": %.3f,"
+                 " \"speedup_vs_legacy\": %.3f}%s\n",
+                 r.threads, r.seconds, r.rows_per_sec,
+                 r.rows_per_sec / static_cast<double>(r.threads), r.chunks,
+                 r.chunk_bytes, r.speedup_vs_serial, r.speedup_vs_legacy,
+                 i + 1 < ingest_rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"chunk_sweep_threads\": %zu,\n"
+               "  \"chunk_sweep\": [\n",
+               sweep_threads);
+  for (size_t i = 0; i < chunk_rows.size(); ++i) {
+    const ChunkRow& r = chunk_rows[i];
+    std::fprintf(out,
+                 "    {\"chunk_bytes\": %zu, \"seconds\": %.4f,"
+                 " \"chunks\": %zu, \"autotuned\": %s}%s\n",
+                 r.chunk_bytes, r.seconds, r.chunks,
+                 r.autotuned ? "true" : "false",
+                 i + 1 < chunk_rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"training\": {\"max_training_rows\": %zu,"
+               " \"full_rows\": %zu, \"full_seconds\": %.4f,"
+               " \"quarter_rows\": %zu, \"quarter_seconds\": %.4f,"
+               " \"full_over_quarter_ratio\": %.3f}\n"
+               "}\n",
+               cap, rows, full_seconds, rows / 4, quarter_seconds, ratio);
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return 0;
+}

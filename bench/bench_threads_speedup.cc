@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
                  "\n");
   }
 
+  // Refuse before burning bench time, not just before the write.
+  if (!SpeedupRecordWriteAllowed(json_path, hardware)) return 4;
+
   RetailOptions data = DefaultRetail();
   data.num_items = 400;
   ContextMatchOptions match = DefaultMatch();

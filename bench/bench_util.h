@@ -9,7 +9,10 @@
 #ifndef CSM_BENCH_BENCH_UTIL_H_
 #define CSM_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -125,6 +128,41 @@ inline ContextMatchOptions DefaultMatch() {
   options.early_disjuncts = true;
   options.threads = GlobalBenchConfig().Threads(/*default_threads=*/1);
   return options;
+}
+
+/// Reads "hardware_concurrency": N out of a previously written bench JSON;
+/// 0 when the file does not exist or carries no such field.
+inline size_t RecordedHardwareConcurrency(const std::string& json_path) {
+  std::ifstream in(json_path);
+  if (!in) return 0;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string key = "\"hardware_concurrency\":";
+  const size_t pos = text.find(key);
+  if (pos == std::string::npos) return 0;
+  return static_cast<size_t>(
+      std::strtoull(text.c_str() + pos + key.size(), nullptr, 10));
+}
+
+/// The speedup-record overwrite guard: a JSON recorded on a machine with
+/// more cores than this one must not be silently replaced by a run that
+/// cannot exhibit any parallel speedup (that is exactly how a stale 1-core
+/// record once shipped as the repo's official scaling data).  Returns true
+/// when writing `json_path` is allowed: the prior record's core count is
+/// <= `hardware`, there is no prior record, or CSM_BENCH_FORCE is set.
+inline bool SpeedupRecordWriteAllowed(const std::string& json_path,
+                                      size_t hardware) {
+  const size_t recorded = RecordedHardwareConcurrency(json_path);
+  if (recorded <= hardware || GlobalBenchConfig().force) return true;
+  std::fprintf(stderr,
+               "REFUSING to overwrite %s: it was recorded with "
+               "hardware_concurrency=%zu but this machine has %zu core%s.\n"
+               "Re-run on a machine with >= %zu cores, or set "
+               "CSM_BENCH_FORCE=1 to overwrite anyway.\n",
+               json_path.c_str(), recorded, hardware,
+               hardware == 1 ? "" : "s", recorded);
+  return false;
 }
 
 /// Grades runs use the calibrated tau/omega for attribute normalization —

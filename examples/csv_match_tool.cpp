@@ -15,6 +15,14 @@
 //   --seed=N         RNG seed                             (default 1)
 //   --threads=N      worker threads; 0 = all cores        (default 1)
 //                    (results are identical for every N)
+//   --streaming      load CSVs through the mmap + chunked parallel ingest
+//                    (types inferred from a prefix; falls back to the
+//                    slurping loader per file if the prefix guessed wrong)
+//   --sample-rows=N  cap classifier training at N rows per table (uniform
+//                    deterministic sample; 0 = train on every row)
+//   --load-only      stop after loading both directories (ingest smoke:
+//                    CI's million-row scale job uses this to exercise the
+//                    streaming loaders under ASan without a full match)
 //   --deadline-ms=N  wall-clock budget per match run; on expiry the run
 //                    degrades (baseline + views scored so far) and the
 //                    tool exits with code 3 after printing what it has
@@ -58,7 +66,8 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 }
 
 StatusOr<Database> LoadDirectory(const std::string& dir,
-                                 const std::string& db_name) {
+                                 const std::string& db_name, bool streaming,
+                                 size_t threads) {
   namespace fs = std::filesystem;
   Database db(db_name);
   std::error_code ec;
@@ -72,11 +81,30 @@ StatusOr<Database> LoadDirectory(const std::string& dir,
   }
   std::sort(files.begin(), files.end());
   for (const auto& path : files) {
-    CSM_ASSIGN_OR_RETURN(Table table,
-                         ReadCsvFileInferred(path.stem().string(),
-                                             path.string()));
-    std::printf("loaded %-24s %5zu rows  %s\n", path.filename().c_str(),
-                table.num_rows(), table.schema().ToString().c_str());
+    Table table;
+    if (streaming) {
+      CsvIngestOptions ingest;
+      ingest.threads = threads;
+      CsvIngestStats stats;
+      auto loaded = ReadCsvFileInferredStreaming(
+          path.stem().string(), path.string(), /*infer_records=*/1024,
+          ingest, &stats);
+      if (!loaded.ok()) {
+        // Prefix-based inference can guess too narrow a type; the slurping
+        // loader infers from every record, so it settles it.
+        loaded = ReadCsvFileInferred(path.stem().string(), path.string());
+      }
+      CSM_ASSIGN_OR_RETURN(table, std::move(loaded));
+      std::printf("loaded %-24s %8zu rows  [%s, %zu chunks, %.3fs]\n",
+                  path.filename().c_str(), table.num_rows(),
+                  stats.used_mmap ? "mmap" : "read", stats.chunks,
+                  stats.load_seconds + stats.parse_seconds);
+    } else {
+      CSM_ASSIGN_OR_RETURN(table, ReadCsvFileInferred(path.stem().string(),
+                                                      path.string()));
+      std::printf("loaded %-24s %8zu rows  %s\n", path.filename().c_str(),
+                  table.num_rows(), table.schema().ToString().c_str());
+    }
     db.AddTable(std::move(table));
   }
   return db;
@@ -107,6 +135,8 @@ int main(int argc, char** argv) {
   options.omega = 0.1;
   size_t stages = 1;
   bool target_views = false;
+  bool streaming = false;
+  bool load_only = false;
   std::string trace_out, metrics_out;
 
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -151,6 +181,13 @@ int main(int argc, char** argv) {
       trace_out = value;
     } else if (ParseFlag(arg, "metrics-out", &value)) {
       metrics_out = value;
+    } else if (ParseFlag(arg, "sample-rows", &value)) {
+      options.match.max_training_rows =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (arg == "--streaming") {
+      streaming = true;
+    } else if (arg == "--load-only") {
+      load_only = true;
     } else if (arg == "--late") {
       options.early_disjuncts = false;
     } else if (arg == "--target-views") {
@@ -186,17 +223,24 @@ int main(int argc, char** argv) {
   // Unreadable input is the caller's problem: load failures carry
   // kIoError/kNotFound, which the shared table maps to exit 2 (bad input),
   // distinct from the tool's own failures (exit 1).
-  auto source = LoadDirectory(source_dir, "source");
+  auto source = LoadDirectory(source_dir, "source", streaming,
+                              options.threads);
   if (!source.ok()) {
     std::fprintf(stderr, "cannot load source: %s\n",
                  source.status().ToString().c_str());
     return ExitCodeForStatus(source.status().code());
   }
-  auto target = LoadDirectory(target_dir, "target");
+  auto target = LoadDirectory(target_dir, "target", streaming,
+                              options.threads);
   if (!target.ok()) {
     std::fprintf(stderr, "cannot load target: %s\n",
                  target.status().ToString().c_str());
     return ExitCodeForStatus(target.status().code());
+  }
+  if (load_only) {
+    std::printf("\nload-only: %zu source + %zu target tables loaded ok\n",
+                source->tables().size(), target->tables().size());
+    return 0;
   }
 
   std::printf("\nrunning ContextMatch: tau=%.2f omega=%.3f infer=%s "

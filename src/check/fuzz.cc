@@ -119,6 +119,103 @@ Status FuzzCsvRoundTrip(const FuzzOptions& options) {
   return Status::Ok();
 }
 
+Status FuzzCsvChunkedParse(const FuzzOptions& options) {
+  // Chunk sizes chosen to force record splits everywhere: 1 byte puts every
+  // record (and every quoted terminator) at a chunk boundary; the larger
+  // sizes exercise mid-table splits and the single-chunk degenerate case.
+  const size_t kChunkSizes[] = {1, 7, 64, 4096};
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng rng(IterationSeed(options.seed, i));
+    const Table table = RandomHostileTable("fuzz", rng);
+    const std::string renderings[] = {TableToCsv(table),
+                                      RenderCsvMixedLineEndings(table, rng)};
+    for (const std::string& csv : renderings) {
+      const StatusOr<Table> serial = TableFromCsv(table.schema(), csv);
+      if (!serial.ok()) {
+        return Replay(options, i,
+                      Status::Internal("serial parser rejected rendering: " +
+                                       serial.status().message()));
+      }
+
+      // Chunk-scan invariants: spans are contiguous, non-empty, and cover
+      // [pos, size) exactly, at an arbitrary target size.
+      const size_t target = 1 + rng.NextBounded(csv.size() + 1);
+      size_t cursor = 0;
+      for (const CsvChunkSpan& span : ScanCsvChunks(csv, 0, target)) {
+        if (span.begin != cursor || span.end <= span.begin) {
+          return Replay(options, i,
+                        Status::Internal(
+                            "chunk scan produced a gap or empty span at byte " +
+                            std::to_string(cursor) + " (target=" +
+                            std::to_string(target) + ")"));
+        }
+        cursor = span.end;
+      }
+      if (cursor != csv.size()) {
+        return Replay(options, i,
+                      Status::Internal("chunk scan covered " +
+                                       std::to_string(cursor) + " of " +
+                                       std::to_string(csv.size()) + " bytes"));
+      }
+
+      for (size_t chunk_bytes : kChunkSizes) {
+        CsvIngestOptions ingest;
+        ingest.chunk_bytes = chunk_bytes;
+        ingest.threads = options.thread_counts.empty()
+                             ? 1
+                             : options.thread_counts[rng.NextBounded(
+                                   options.thread_counts.size())];
+        const StatusOr<Table> chunked =
+            TableFromCsvParallel(table.schema(), csv, ingest);
+        auto where = [&](const std::string& message) {
+          return Status::Internal(message + " (chunk_bytes=" +
+                                  std::to_string(chunk_bytes) + ", threads=" +
+                                  std::to_string(ingest.threads) + ")");
+        };
+        if (!chunked.ok()) {
+          return Replay(options, i,
+                        where("chunked parser rejected text the serial "
+                              "parser accepted: " +
+                              chunked.status().message()));
+        }
+        CSM_RETURN_IF_ERROR(Replay(
+            options, i, CompareTables(*serial, *chunked, "chunked parse")));
+        // Value equality is not enough: the merged dictionary must assign
+        // the exact codes a serial parse would (downstream fingerprints and
+        // dictionary-code scans depend on it).
+        for (size_t c = 0; c < table.schema().num_attributes(); ++c) {
+          const Column& expected = serial->column(c);
+          const Column& actual = chunked->column(c);
+          if (expected.type() != ValueType::kString) continue;
+          if (actual.codes() != expected.codes()) {
+            return Replay(options, i,
+                          where("dictionary codes diverged from serial parse "
+                                "in column " +
+                                table.schema().attribute(c).name));
+          }
+          if (actual.dictionary().size() != expected.dictionary().size()) {
+            return Replay(options, i,
+                          where("merged dictionary size diverged in column " +
+                                table.schema().attribute(c).name));
+          }
+          for (uint32_t code = 0; code < expected.dictionary().size();
+               ++code) {
+            if (actual.dictionary().value(code) !=
+                expected.dictionary().value(code)) {
+              return Replay(
+                  options, i,
+                  where("dictionary entry " + std::to_string(code) +
+                        " diverged in column " +
+                        table.schema().attribute(c).name));
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status FuzzConditionEvaluation(const FuzzOptions& options) {
   for (size_t i = 0; i < options.iterations; ++i) {
     Rng rng(IterationSeed(options.seed, i));

@@ -12,6 +12,13 @@
 //                            TableToCsv -> TableFromCsv, plus a re-rendered
 //                            variant with randomized \n / \r\n / \r record
 //                            terminators through the same parser
+//   * FuzzCsvChunkedParse     random hostile tables rendered with mixed
+//                            record terminators through the chunked
+//                            parallel parser at hostile chunk sizes (down
+//                            to 1 byte) and several thread counts; checks
+//                            chunk-scan invariants plus bit-identical
+//                            tables *and* dictionary code assignment
+//                            against the serial parser
 //   * FuzzConditionEvaluation random conditions: View::Materialize and
 //                            View::MatchingRows against per-row
 //                            Condition::Evaluate ground truth
@@ -48,6 +55,7 @@ struct FuzzOptions {
 };
 
 Status FuzzCsvRoundTrip(const FuzzOptions& options);
+Status FuzzCsvChunkedParse(const FuzzOptions& options);
 Status FuzzConditionEvaluation(const FuzzOptions& options);
 Status FuzzPipeline(const FuzzOptions& options);
 Status FuzzDifferential(const FuzzOptions& options);

@@ -14,6 +14,7 @@
 #include "match/matchers.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "relational/sample.h"
 #include "relational/table_view.h"
 
 namespace csm {
@@ -73,25 +74,31 @@ ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
   // restriction — and its cached token profiles — is built once per view
   // no matter how many target attributes it is scored against.
   std::map<std::string, AttributeSample> samples;
-  std::map<std::string, AttributeSample> placebo_samples;
+  std::map<std::string, std::vector<AttributeSample>> placebo_samples;
 
   // Columnar scan: literal-vs-code comparison per row instead of per-row
   // Evaluate over boxed values.  Positions come back ascending, exactly the
   // order the row-at-a-time loop produced.
   PosList view_rows = candidate.condition().MatchingPositions(*state.sample);
-  PosList placebo_rows;
+  // The placebo shift is averaged over a few independent draws: one random
+  // subset is noisy enough that a spuriously merged view can land inside
+  // selection's near-tie band on draw luck alone.  Each draw is a
+  // bounded-cost Floyd's sample (relational/sample.h): O(|view|) work per
+  // draw instead of the old O(|table|) iota + full shuffle per candidate.
+  constexpr size_t kPlaceboDraws = 3;
+  std::vector<PosList> placebo_draws;
   if (placebo_correction) {
-    placebo_rows.resize(state.sample->num_rows());
-    std::iota(placebo_rows.begin(), placebo_rows.end(), RowId{0});
-    rng.Shuffle(placebo_rows);
-    placebo_rows.resize(view_rows.size());
-    std::sort(placebo_rows.begin(), placebo_rows.end());
+    placebo_draws.reserve(kPlaceboDraws);
+    for (size_t d = 0; d < kPlaceboDraws; ++d) {
+      placebo_draws.push_back(SampleRowPositions(state.sample->num_rows(),
+                                                 view_rows.size(), rng));
+    }
   }
 
   // View row-count conservation: a condition can only restrict the sample.
   CSM_INVARIANT_LE(view_rows.size(), state.sample->num_rows())
       << candidate.ToString();
-  if (placebo_correction) {
+  for (const PosList& placebo_rows : placebo_draws) {
     CSM_INVARIANT_EQ(placebo_rows.size(), view_rows.size())
         << candidate.ToString();
   }
@@ -115,17 +122,23 @@ ScoredFragment ScoreCandidate(const SourceState& state, const View& candidate,
     if (placebo_correction) {
       auto pit = placebo_samples.find(attr);
       if (pit == placebo_samples.end()) {
-        pit = placebo_samples
-                  .emplace(attr,
-                           state.session->MakeRestrictedSample(
-                               attr, BagAtPositions(*state.sample,
-                                                    placebo_rows, attr)))
-                  .first;
+        std::vector<AttributeSample> attr_samples;
+        attr_samples.reserve(placebo_draws.size());
+        for (const PosList& placebo_rows : placebo_draws) {
+          attr_samples.push_back(state.session->MakeRestrictedSample(
+              attr, BagAtPositions(*state.sample, placebo_rows, attr)));
+        }
+        pit = placebo_samples.emplace(attr, std::move(attr_samples)).first;
       }
-      MatchScore placebo =
-          state.session->ScoreRestrictedSample(pit->second, base.target);
+      double placebo_confidence = 0.0;
+      for (const AttributeSample& sample : pit->second) {
+        placebo_confidence +=
+            state.session->ScoreRestrictedSample(sample, base.target)
+                .confidence;
+      }
+      placebo_confidence /= static_cast<double>(pit->second.size());
       confidence = std::clamp(
-          confidence - (placebo.confidence - base.confidence), 0.0, 1.0);
+          confidence - (placebo_confidence - base.confidence), 0.0, 1.0);
     }
 
     Match conditional = base;

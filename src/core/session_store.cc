@@ -46,6 +46,10 @@ uint64_t FingerprintMatchOptions(const MatchOptions& options) {
   h = MixFingerprint(h, std::bit_cast<uint64_t>(options.min_score_stddev));
   h = MixFingerprint(h, options.min_non_null_values);
   h = MixFingerprint(h, options.blend_raw_score ? 1 : 0);
+  // The training cap changes the bags a session trains on, so cold blobs
+  // recorded under a different cap or sample seed must never restore.
+  h = MixFingerprint(h, options.max_training_rows);
+  h = MixFingerprint(h, options.training_sample_seed);
   return h;
 }
 

@@ -55,6 +55,9 @@ BenchConfig BenchConfig::FromEnv() {
   if (trace != nullptr) config.trace_prefix = trace;
   ReadSizeEnv("CSM_BENCH_CLIENTS", /*min=*/1, &config.clients);
   ReadSizeEnv("CSM_BENCH_REQUESTS", /*min=*/1, &config.requests);
+  ReadSizeEnv("CSM_BENCH_SCALE_ROWS", /*min=*/1, &config.scale_rows);
+  const char* force = std::getenv("CSM_BENCH_FORCE");
+  config.force = force != nullptr && *force != '\0' && *force != '0';
   return config;
 }
 

@@ -68,6 +68,13 @@ struct BenchConfig {
   /// bench_service_load (0 = bench default).
   size_t clients = 0;
   size_t requests = 0;
+  /// CSM_BENCH_SCALE_ROWS: source rows for bench_scale_sweep (0 = bench
+  /// default).
+  size_t scale_rows = 0;
+  /// CSM_BENCH_FORCE: overrides the speedup-record overwrite guard (a
+  /// record from a machine with more cores is otherwise never replaced by
+  /// a run from a smaller machine).
+  bool force = false;
 
   /// Reads the environment; never fails (malformed values = unset).
   static BenchConfig FromEnv();

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "match/matchers.h"
+#include "relational/sample.h"
 #include "stats/distributions.h"
 
 namespace csm {
@@ -20,12 +21,29 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 void TableMatchSession::BuildSamples(const Table& source,
                                      const Database& target) {
-  for (const auto& attr : source.schema().attributes()) {
-    source_samples_.push_back(AttributeSample::FromTable(source, attr.name));
+  // Training cap: bags come from a deterministic per-table row sample when
+  // the table is larger than max_training_rows.  The draw depends only on
+  // (options, table name, row count), so the restore constructor — which
+  // calls BuildSamples with the same tables and options — reproduces the
+  // exact bags the scoring constructor trained on.
+  auto capped = [&](const Table& table) -> Table {
+    Rng rng(DeriveTableSampleSeed(options_.training_sample_seed, table.name()));
+    return ReservoirSampleRows(table, options_.max_training_rows, rng);
+  };
+  const bool cap_source = options_.max_training_rows > 0 &&
+                          source.num_rows() > options_.max_training_rows;
+  const Table source_capped = cap_source ? capped(source) : Table();
+  const Table& src = cap_source ? source_capped : source;
+  for (const auto& attr : src.schema().attributes()) {
+    source_samples_.push_back(AttributeSample::FromTable(src, attr.name));
   }
   for (const Table& table : target.tables()) {
-    for (const auto& attr : table.schema().attributes()) {
-      target_samples_.push_back(AttributeSample::FromTable(table, attr.name));
+    const bool cap = options_.max_training_rows > 0 &&
+                     table.num_rows() > options_.max_training_rows;
+    const Table table_capped = cap ? capped(table) : Table();
+    const Table& tgt = cap ? table_capped : table;
+    for (const auto& attr : tgt.schema().attributes()) {
+      target_samples_.push_back(AttributeSample::FromTable(tgt, attr.name));
       target_refs_.push_back(target_samples_.back().ref());
     }
   }

@@ -39,6 +39,19 @@ struct MatchOptions {
   /// weak (an attribute of random codes still has *some* best target); the
   /// blend keeps weak-evidence pairs below threshold.  Disable to ablate.
   bool blend_raw_score = true;
+  /// Upper bound on the rows used to build each table's attribute samples
+  /// (the classifier-training value bags).  0 = every row.  When a table
+  /// exceeds the cap its bags come from a deterministic uniform row sample
+  /// (ReservoirSampleRows seeded by DeriveTableSampleSeed(
+  /// training_sample_seed, table name)), so session construction cost is
+  /// bounded by the cap, not by table size — the paper's matchers train on
+  /// *samples* of instance data, and this knob is what keeps that true at
+  /// 10^6+ rows.  The restore path rebuilds the identical sample, so cold-
+  /// tier round trips stay bit-exact.
+  size_t max_training_rows = 0;
+  /// Seed for the per-table training-sample draws; folded with each table
+  /// name so every table samples an independent reproducible stream.
+  uint64_t training_sample_seed = 0x5eed0f5a4d704e65ULL;
 };
 
 /// Combined (score, confidence) for one attribute pair.

@@ -193,6 +193,47 @@ void Column::PopBack() {
   --size_;
 }
 
+void Column::AppendFrom(const Column& other) {
+  CSM_CHECK(other.type_ == type_)
+      << "column type mismatch: expected " << ValueTypeToString(type_)
+      << ", got " << ValueTypeToString(other.type_);
+  switch (type_) {
+    case ValueType::kNull:
+      nulls_.insert(nulls_.end(), other.nulls_.begin(), other.nulls_.end());
+      break;
+    case ValueType::kInt:
+      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+      nulls_.insert(nulls_.end(), other.nulls_.begin(), other.nulls_.end());
+      break;
+    case ValueType::kReal:
+      reals_.insert(reals_.end(), other.reals_.begin(), other.reals_.end());
+      nulls_.insert(nulls_.end(), other.nulls_.begin(), other.nulls_.end());
+      break;
+    case ValueType::kString: {
+      EnsureOwnDictionary();
+      codes_.reserve(codes_.size() + other.codes_.size());
+      // Lazy per-row remap: other's values enter this dictionary in the
+      // order other's *rows* first reference them, which is exactly the
+      // order a serial parse of the concatenated rows would have assigned.
+      // kNullCode doubles as the "not yet remapped" sentinel because no
+      // real code can equal it (GetOrAdd CHECKs the dictionary below it).
+      std::vector<uint32_t> remap(other.dict_->size(), kNullCode);
+      for (uint32_t code : other.codes_) {
+        if (code == kNullCode) {
+          codes_.push_back(kNullCode);
+          continue;
+        }
+        if (remap[code] == kNullCode) {
+          remap[code] = dict_->GetOrAdd(other.dict_->value(code));
+        }
+        codes_.push_back(remap[code]);
+      }
+      break;
+    }
+  }
+  size_ += other.size_;
+}
+
 void Column::Reserve(size_t n) {
   switch (type_) {
     case ValueType::kNull:

@@ -107,6 +107,15 @@ class Column {
   /// Removes the last cell (ingest rollback on a failed row).
   void PopBack();
 
+  /// Appends every cell of `other` (same type; CHECK-enforced) — the merge
+  /// step of parallel CSV ingest.  String cells are re-encoded into this
+  /// column's dictionary lazily in `other`'s row order, so concatenating
+  /// freshly parsed chunk columns reproduces the exact first-seen
+  /// dictionary order (and therefore the exact codes) a single serial
+  /// parse of the concatenated rows would have produced.  Dictionary
+  /// entries of `other` that no row references are not copied.
+  void AppendFrom(const Column& other);
+
   void Reserve(size_t n);
 
   /// New column with the cells at `positions`, in order.  String columns

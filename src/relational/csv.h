@@ -4,12 +4,18 @@
 #ifndef CSM_RELATIONAL_CSV_H_
 #define CSM_RELATIONAL_CSV_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "relational/table.h"
 
 namespace csm {
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
 
 /// Serializes `instance` (with a header row) to CSV text.  A row that would
 /// render as a completely empty line (a single-attribute NULL) is written as
@@ -42,6 +48,100 @@ StatusOr<Table> TableFromCsvInferred(const std::string& table_name,
 /// Reads a CSV file with inferred column types.
 StatusOr<Table> ReadCsvFileInferred(const std::string& table_name,
                                     const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Streaming / parallel ingest (the million-row path; DESIGN.md "Streaming
+// ingest & sampling").  One structural pass splits the text into chunks on
+// record boundaries; chunks parse in parallel into per-chunk column
+// segments; the chunk tables merge in order with dictionary re-encoding.
+// The merged table is bit-identical to TableFromCsv on the same text at
+// every thread count and chunk size.
+// ---------------------------------------------------------------------------
+
+/// One parse chunk: a half-open byte range of the CSV body that starts and
+/// ends on record boundaries, plus an upper-bound record count for
+/// reservation (terminators seen in the range; quoted embedded newlines make
+/// it exact, a trailing blank line overcounts by one).
+struct CsvChunkSpan {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t records = 0;
+};
+
+/// Splits `csv` from `pos` (normally just past the header record) into
+/// chunks of at least `target_chunk_bytes` bytes, each ending on a record
+/// boundary, in one pass that tracks quote parity — a '"' toggles in/out of
+/// a quoted field, exactly like the record parser, so terminators inside
+/// quoted fields never split a record.  "\r\n" is one terminator: a chunk
+/// never splits between the CR and the LF (a chunk starting with a bare LF
+/// would otherwise parse a phantom empty record).  The final chunk may be
+/// short; an unterminated final record is included in it.
+std::vector<CsvChunkSpan> ScanCsvChunks(std::string_view csv, size_t pos,
+                                        size_t target_chunk_bytes);
+
+/// Chunk size heuristic: aim for ~4 chunks per worker so stragglers level
+/// out, clamped to [64 KiB, 16 MiB] so tiny files stay serial-ish and huge
+/// files do not blow up the per-chunk table count.
+size_t AutotuneCsvChunkBytes(size_t total_bytes, size_t threads);
+
+/// Knobs for the streaming ingest path.
+struct CsvIngestOptions {
+  /// Worker threads for the chunk parse; 0 = one per hardware thread,
+  /// 1 = fully serial (no pool spun up).  Ignored when `pool` is set.
+  size_t threads = 0;
+  /// Optional borrowed pool; when set, chunk parsing runs on it instead of
+  /// a private pool.
+  exec::ThreadPool* pool = nullptr;
+  /// Target chunk size in bytes; 0 = AutotuneCsvChunkBytes.
+  size_t chunk_bytes = 0;
+  /// Skip mmap and use the instrumented buffered-read fallback (tests use
+  /// this to prove the file is read exactly once).
+  bool force_read_fallback = false;
+};
+
+/// Observability counters for one streaming ingest.
+struct CsvIngestStats {
+  size_t file_bytes = 0;    // size of the input file / text
+  size_t bytes_read = 0;    // bytes copied by the read fallback (0 = mmap)
+  bool used_mmap = false;
+  size_t threads = 0;       // effective parse workers
+  size_t chunk_bytes = 0;   // chunk size actually used
+  size_t chunks = 0;
+  size_t records = 0;       // data records parsed (header excluded)
+  double load_seconds = 0.0;   // mmap / read time
+  double parse_seconds = 0.0;  // scan + parallel parse + merge time
+};
+
+/// Parses CSV text into a table through the chunked parallel path.  Output
+/// is bit-identical to TableFromCsv(schema, csv) — same rows, same
+/// dictionary code assignment — for every thread count and chunk size; the
+/// first parse error in *text order* is returned, as the serial parser
+/// would.  `stats`, when non-null, receives the parse-side counters.
+StatusOr<Table> TableFromCsvParallel(const TableSchema& schema,
+                                     std::string_view csv,
+                                     const CsvIngestOptions& options = {},
+                                     CsvIngestStats* stats = nullptr);
+
+/// Streaming file ingest: maps the file read-only (mmap) when possible and
+/// parses it with TableFromCsvParallel, so no second copy of the text is
+/// made and no estimate pass re-reads the file.  Falls back to a buffered
+/// single-pass read (counted in stats->bytes_read) when mapping fails or
+/// options.force_read_fallback is set.
+StatusOr<Table> ReadCsvFileStreaming(const TableSchema& schema,
+                                     const std::string& path,
+                                     const CsvIngestOptions& options = {},
+                                     CsvIngestStats* stats = nullptr);
+
+/// Streaming variant of ReadCsvFileInferred: infers column types from the
+/// first `infer_records` data records (0 = all, which degrades to a full
+/// extra scan), then runs the chunked parallel parse.  When the sampled
+/// prefix under-constrains a column (say, an int-looking prefix followed by
+/// text) the typed parse fails; the caller decides whether to retry with
+/// TableFromCsvInferred.
+StatusOr<Table> ReadCsvFileInferredStreaming(
+    const std::string& table_name, const std::string& path,
+    size_t infer_records = 1024, const CsvIngestOptions& options = {},
+    CsvIngestStats* stats = nullptr);
 
 }  // namespace csm
 

@@ -88,6 +88,24 @@ void Table::Reserve(size_t n) {
   for (auto& col : columns_) col.Reserve(n);
 }
 
+void Table::AppendRowsFrom(const Table& other) {
+  CSM_CHECK_EQ(other.schema_.num_attributes(), schema_.num_attributes())
+      << "schema arity mismatch appending into table '" << name() << "'";
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    CSM_CHECK(other.schema_.attribute(i).name == schema_.attribute(i).name &&
+              other.schema_.attribute(i).type == schema_.attribute(i).type)
+        << "schema mismatch appending into '" << name() << "' at attribute '"
+        << schema_.attribute(i).name << "'";
+  }
+  CSM_CHECK_LE(other.num_rows_, static_cast<size_t>(kNullCode) - num_rows_)
+      << "table '" << name() << "' row capacity exceeded";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendFrom(other.columns_[i]);
+  }
+  num_rows_ += other.num_rows_;
+  InvalidateRowCache();
+}
+
 const std::vector<Row>& Table::rows() const { return CachedRows(); }
 
 const Row& Table::row(size_t index) const {

@@ -54,6 +54,13 @@ class Table {
   /// Reserves capacity for `n` rows across all column segments.
   void Reserve(size_t n);
 
+  /// Appends every row of `other` (attribute names and types must match;
+  /// CHECK-enforced) — the ordered merge step of parallel CSV ingest.
+  /// String cells re-encode into this table's dictionaries in row order
+  /// (Column::AppendFrom), so appending freshly parsed chunk tables in
+  /// chunk order is bit-identical to one serial parse of the whole file.
+  void AppendRowsFrom(const Table& other);
+
   /// Legacy row-oriented accessors, served from a lazily built (and
   /// mutex-guarded, so concurrent const readers are safe) row cache.
   /// References stay valid until the next AddRow / AddRowFromText.

@@ -37,6 +37,11 @@ TEST(FuzzSmokeTest, CsvRoundTrip) {
   EXPECT_TRUE(status.ok()) << status.ToString();
 }
 
+TEST(FuzzSmokeTest, CsvChunkedParse) {
+  const Status status = check::FuzzCsvChunkedParse(Options(60));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
 TEST(FuzzSmokeTest, ConditionEvaluation) {
   const Status status = check::FuzzConditionEvaluation(Options(400));
   EXPECT_TRUE(status.ok()) << status.ToString();

@@ -8,6 +8,7 @@
 #include "datagen/wordlists.h"
 #include "match/matchers.h"
 #include "match/session.h"
+#include "relational/sample.h"
 #include "tests/test_util.h"
 
 namespace csm {
@@ -337,6 +338,50 @@ TEST(SessionTest, StandardMatchHelperAgreesWithSession) {
   for (size_t i = 0; i < helper.size(); ++i) {
     EXPECT_TRUE(SameCorrespondence(helper[i], direct[i]));
     EXPECT_DOUBLE_EQ(helper[i].confidence, direct[i].confidence);
+  }
+}
+
+// The max_training_rows cap must be *exactly* "run the session on the
+// deterministically sampled tables": build the capped session, then build
+// an uncapped session over tables pre-sampled with the same
+// DeriveTableSampleSeed/ReservoirSampleRows draw, and require identical
+// matches bit for bit.
+TEST(SessionTest, TrainingCapEquivalentToPreSampledTables) {
+  SessionFixture fx;
+  MatchOptions capped;
+  capped.max_training_rows = 20;  // < 60 rows, so every table gets sampled
+
+  auto sampled = [&](const Table& table) {
+    Rng rng(DeriveTableSampleSeed(capped.training_sample_seed, table.name()));
+    return ReservoirSampleRows(table, capped.max_training_rows, rng);
+  };
+  Database sampled_target("tgt");
+  for (const Table& table : fx.target.tables()) {
+    sampled_target.AddTable(sampled(table));
+  }
+
+  MatchList capped_matches = StandardMatch(fx.source, fx.target, 0.0, capped);
+  MatchList manual_matches =
+      StandardMatch(sampled(fx.source), sampled_target, 0.0);
+  ASSERT_EQ(capped_matches.size(), manual_matches.size());
+  for (size_t i = 0; i < capped_matches.size(); ++i) {
+    EXPECT_TRUE(SameCorrespondence(capped_matches[i], manual_matches[i]));
+    EXPECT_EQ(capped_matches[i].confidence, manual_matches[i].confidence);
+    EXPECT_EQ(capped_matches[i].score, manual_matches[i].score);
+  }
+}
+
+// Tables at or under the cap must be completely unaffected by it.
+TEST(SessionTest, TrainingCapNoOpWhenTablesFit) {
+  SessionFixture fx;
+  MatchOptions capped;
+  capped.max_training_rows = 60;  // == fixture table size
+  MatchList with_cap = StandardMatch(fx.source, fx.target, 0.0, capped);
+  MatchList without = StandardMatch(fx.source, fx.target, 0.0);
+  ASSERT_EQ(with_cap.size(), without.size());
+  for (size_t i = 0; i < with_cap.size(); ++i) {
+    EXPECT_TRUE(SameCorrespondence(with_cap[i], without[i]));
+    EXPECT_EQ(with_cap[i].confidence, without[i].confidence);
   }
 }
 

@@ -506,6 +506,82 @@ TEST(SampleTest, SampleRowsSubsets) {
   EXPECT_EQ(all.num_rows(), 60u);
 }
 
+TEST(SampleTest, SampleRowPositionsAscendingDistinctInBounds) {
+  Rng rng(7);
+  PosList positions = SampleRowPositions(1000, 64, rng);
+  ASSERT_EQ(positions.size(), 64u);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_LT(positions[i], 1000u);
+    if (i > 0) {
+      EXPECT_LT(positions[i - 1], positions[i]);
+    }
+  }
+}
+
+TEST(SampleTest, SampleRowPositionsReturnsAllWhenSampleCoversTable) {
+  Rng rng(7);
+  PosList all = SampleRowPositions(10, 10, rng);
+  PosList over = SampleRowPositions(10, 99, rng);
+  PosList expected = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(all, expected);
+  EXPECT_EQ(over, expected);
+  EXPECT_TRUE(SampleRowPositions(0, 5, rng).empty());
+  EXPECT_TRUE(SampleRowPositions(5, 0, rng).empty());
+}
+
+TEST(SampleTest, SampleRowPositionsDeterministicGivenSeed) {
+  Rng a(42), b(42), c(43), d(42);
+  EXPECT_EQ(SampleRowPositions(500, 20, a), SampleRowPositions(500, 20, b));
+  EXPECT_NE(SampleRowPositions(500, 20, d), SampleRowPositions(500, 20, c));
+}
+
+// Differential oracle for the SampleRows -> ReservoirSampleRows delegation:
+// both entry points must pick bit-identical rows for the same rng state.
+TEST(SampleTest, ReservoirSampleRowsMatchesSampleRows) {
+  Table t = CategoricalFixture(40, 3, 0);  // 120 rows
+  for (uint64_t seed : {1u, 9u, 77u}) {
+    for (size_t k : {size_t{1}, size_t{17}, size_t{120}, size_t{500}}) {
+      Rng legacy_rng(seed), reservoir_rng(seed);
+      Table legacy = SampleRows(t, k, legacy_rng);
+      Table reservoir = ReservoirSampleRows(t, k, reservoir_rng);
+      ASSERT_EQ(legacy.num_rows(), reservoir.num_rows())
+          << "seed=" << seed << " k=" << k;
+      for (size_t r = 0; r < legacy.num_rows(); ++r) {
+        EXPECT_EQ(legacy.row(r), reservoir.row(r))
+            << "seed=" << seed << " k=" << k << " row=" << r;
+      }
+    }
+  }
+}
+
+// Regression for the O(table)-cost sampling path: SampleRowPositions must
+// draw k of n by index sampling (Floyd), not by materializing and shuffling
+// an n-entry vector.  At n = 3e9 the old path would allocate ~12 GB and run
+// for minutes; the bounded-cost path finishes instantly or this test times
+// out / OOMs.
+TEST(SampleTest, SmallSampleCostIndependentOfTableSize) {
+  const size_t huge = size_t{3'000'000'000};
+  Rng rng(11);
+  PosList positions = SampleRowPositions(huge, 64, rng);
+  ASSERT_EQ(positions.size(), 64u);
+  for (size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_LT(positions[i], huge);
+    if (i > 0) {
+      EXPECT_LT(positions[i - 1], positions[i]);
+    }
+  }
+}
+
+TEST(SampleTest, DeriveTableSampleSeedIsStableAndTableDependent) {
+  const uint64_t seed = 0x5eed0f5a4d704e65ULL;
+  EXPECT_EQ(DeriveTableSampleSeed(seed, "inventory"),
+            DeriveTableSampleSeed(seed, "inventory"));
+  EXPECT_NE(DeriveTableSampleSeed(seed, "inventory"),
+            DeriveTableSampleSeed(seed, "books"));
+  EXPECT_NE(DeriveTableSampleSeed(seed, "inventory"),
+            DeriveTableSampleSeed(seed + 1, "inventory"));
+}
+
 // ------------------------------------------------------------------- CSV
 
 TEST(CsvTest, RoundTrip) {
