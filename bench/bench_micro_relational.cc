@@ -11,7 +11,8 @@
 //   view_materialize   row-at-a-time AddRow copy of the matching rows vs
 //                      TableView::ToTable column gather
 //   feature_extract    the ClusteredViewGen (label, evidence) pair walk
-//                      over boxed rows vs columnar ValueAt reads
+//                      over boxed rows vs the dictionary-code reads of
+//                      RunCycle's coded fast path
 //
 // The headline metric is scan_score (condition scan + per-attribute bag
 // reads — the candidate-view evaluation inner loop of MatchEngine
@@ -178,14 +179,31 @@ int main(int argc, char** argv) {
       }
       return n;
     });
+    // Mirrors ClusteredViewGen::RunCycle's coded fast path: string columns
+    // read dictionary codes (kNullCode == NULL) and resolve the label text
+    // through the dictionary; non-string columns fall back to boxed reads.
     g.feat_col = TimeBest(reps, &sink, [&] {
       size_t n = 0;
+      const Column& label_column = table.column(label_col);
+      const Column& evidence_column = table.column(evidence_col);
+      const bool l_coded = label_column.type() == ValueType::kString;
+      const bool h_coded = evidence_column.type() == ValueType::kString;
       for (size_t r = 0; r < table.num_rows(); ++r) {
-        const Value label = table.ValueAt(r, label_col);
-        if (label.is_null() || table.ValueAt(r, evidence_col).is_null()) {
-          continue;
+        if (l_coded) {
+          const uint32_t code = label_column.codes()[r];
+          if (code == kNullCode) continue;
+          const bool h_null = h_coded
+                                  ? evidence_column.codes()[r] == kNullCode
+                                  : evidence_column.IsNull(r);
+          if (h_null) continue;
+          n += label_column.dictionary().value(code).size();
+        } else {
+          const Value label = table.ValueAt(r, label_col);
+          if (label.is_null() || table.ValueAt(r, evidence_col).is_null()) {
+            continue;
+          }
+          n += label.ToString().size();
         }
-        n += label.ToString().size();
       }
       return n;
     });

@@ -1,6 +1,11 @@
 #include "check/fuzz.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -8,9 +13,14 @@
 #include "check/fingerprint.h"
 #include "check/generators.h"
 #include "core/match_engine.h"
+#include "ml/naive_bayes.h"
 #include "relational/csv.h"
 #include "relational/table_view.h"
 #include "relational/view.h"
+#include "text/gram.h"
+#include "text/profile.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
 
 namespace csm::check {
 namespace {
@@ -433,6 +443,263 @@ Status FuzzRowColumnarEquivalence(const FuzzOptions& options) {
       if (bound.ValueCounts(attr) != counts) {
         return Replay(options, i,
                       Status::Internal("ValueCounts mismatch on " + attr));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+bool BitEqual(double a, double b) {
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+/// The pre-kernel map-of-strings multinomial NB, kept verbatim as the
+/// differential reference: per-label gram-string counts, per-call log sums.
+class ReferenceNaiveBayes {
+ public:
+  explicit ReferenceNaiveBayes(size_t q, double smoothing = 1.0)
+      : q_(q), smoothing_(smoothing) {}
+
+  void Train(const std::string& text, const std::string& label) {
+    LabelStats& stats = labels_[label];
+    ++stats.example_count;
+    ++total_examples_;
+    for (const std::string& gram : QGrams(text, q_)) {
+      stats.token_counts[gram] += 1.0;
+      stats.token_total += 1.0;
+      vocabulary_.insert(gram);
+    }
+  }
+
+  double LogScore(const std::string& text, const std::string& label) const {
+    auto it = labels_.find(label);
+    if (it == labels_.end() || total_examples_ == 0) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    return Score(it->second, text);
+  }
+
+  std::string Classify(const std::string& text) const {
+    if (labels_.empty()) return "";
+    const std::string* best = nullptr;
+    double best_score = -std::numeric_limits<double>::infinity();
+    size_t best_frequency = 0;
+    for (const auto& [label, stats] : labels_) {
+      const double score = Score(stats, text);
+      if (score > best_score ||
+          (score == best_score && stats.example_count > best_frequency)) {
+        best = &label;
+        best_score = score;
+        best_frequency = stats.example_count;
+      }
+    }
+    return best == nullptr ? "" : *best;
+  }
+
+ private:
+  struct LabelStats {
+    size_t example_count = 0;
+    double token_total = 0.0;
+    std::map<std::string, double> token_counts;
+  };
+
+  double Score(const LabelStats& stats, const std::string& text) const {
+    const double num_labels = static_cast<double>(labels_.size());
+    const double vocab = static_cast<double>(vocabulary_.size());
+    double score = std::log(
+        (static_cast<double>(stats.example_count) + smoothing_) /
+        (static_cast<double>(total_examples_) + smoothing_ * num_labels));
+    const double denom = stats.token_total + smoothing_ * (vocab + 1.0);
+    for (const std::string& gram : QGrams(text, q_)) {
+      auto it = stats.token_counts.find(gram);
+      const double count = it == stats.token_counts.end() ? 0.0 : it->second;
+      score += std::log((count + smoothing_) / denom);
+    }
+    return score;
+  }
+
+  size_t q_;
+  double smoothing_;
+  size_t total_examples_ = 0;
+  std::map<std::string, LabelStats> labels_;
+  std::set<std::string> vocabulary_;
+};
+
+}  // namespace
+
+Status FuzzTokenKernelEquivalence(const FuzzOptions& options) {
+  for (size_t i = 0; i < options.iterations; ++i) {
+    Rng rng(IterationSeed(options.seed, i));
+    HostileTableOptions table_options;
+    table_options.min_rows = 1;
+    const Table table = RandomHostileTable("fuzz", rng, table_options);
+    const size_t cols = table.schema().num_attributes();
+    // Packed gram length for the profile checks; the classifier check
+    // sometimes uses q = 5 to exercise the interner fallback.
+    const size_t q = 1 + rng.NextBounded(kMaxPackedGramQ);
+    const size_t nb_q = rng.NextBounded(4) == 0 ? kMaxPackedGramQ + 1 : q;
+
+    std::vector<std::vector<std::string>> texts(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        const Value v = table.ValueAt(r, c);
+        if (!v.is_null()) texts[c].push_back(v.ToString());
+      }
+    }
+
+    // (1) Packed ids match the string grams one-to-one and round-trip.
+    std::string scratch;
+    std::vector<GramId> ids;
+    for (const auto& col_texts : texts) {
+      for (const std::string& text : col_texts) {
+        const std::vector<std::string> grams = QGrams(text, q);
+        ids.clear();
+        AppendPackedQGrams(text, q, &scratch, &ids);
+        if (ids.size() != grams.size()) {
+          return Replay(options, i,
+                        Status::Internal("packed gram count diverged on \"" +
+                                         text + "\" q=" + std::to_string(q)));
+        }
+        for (size_t g = 0; g < grams.size(); ++g) {
+          if (ids[g] != PackGram(grams[g]) ||
+              UnpackGram(ids[g], q) != grams[g]) {
+            return Replay(options, i,
+                          Status::Internal("gram pack/unpack diverged on \"" +
+                                           grams[g] + "\""));
+          }
+        }
+      }
+    }
+
+    // (2) Flat profiles against map profiles: aggregates and every pairwise
+    // similarity measure, bit for bit.
+    std::vector<TokenProfile> ref_grams(cols), ref_words(cols);
+    std::vector<GramProfile> kernel_grams(cols);
+    std::vector<WordProfile> kernel_words(cols);
+    GramProfileBuilder gram_builder;
+    WordProfileBuilder word_builder;
+    for (size_t c = 0; c < cols; ++c) {
+      for (const std::string& text : texts[c]) {
+        ref_grams[c].AddAll(QGrams(text, q));
+        ref_words[c].AddAll(WordTokens(text));
+        gram_builder.AddText(text, q);
+        word_builder.AddText(text);
+      }
+      kernel_grams[c] = gram_builder.Build();
+      kernel_words[c] = word_builder.Build();
+      if (kernel_grams[c].num_distinct() != ref_grams[c].num_distinct() ||
+          !BitEqual(kernel_grams[c].total(), ref_grams[c].total()) ||
+          !BitEqual(kernel_grams[c].Norm(), ref_grams[c].Norm()) ||
+          kernel_words[c].num_distinct() != ref_words[c].num_distinct() ||
+          !BitEqual(kernel_words[c].total(), ref_words[c].total()) ||
+          !BitEqual(kernel_words[c].Norm(), ref_words[c].Norm())) {
+        return Replay(options, i,
+                      Status::Internal("profile aggregate diverged on col " +
+                                       std::to_string(c)));
+      }
+    }
+    TfIdfCorpus ref_corpus, kernel_corpus;
+    for (size_t c = 0; c < cols; ++c) {
+      ref_corpus.AddDocument(ref_words[c]);
+      kernel_corpus.AddDocument(kernel_words[c]);
+    }
+    for (size_t a = 0; a < cols; ++a) {
+      for (size_t b = a; b < cols; ++b) {
+        const bool ok =
+            BitEqual(CosineSimilarity(kernel_grams[a], kernel_grams[b]),
+                     CosineSimilarity(ref_grams[a], ref_grams[b])) &&
+            BitEqual(JaccardSimilarity(kernel_grams[a], kernel_grams[b]),
+                     JaccardSimilarity(ref_grams[a], ref_grams[b])) &&
+            BitEqual(DiceSimilarity(kernel_grams[a], kernel_grams[b]),
+                     DiceSimilarity(ref_grams[a], ref_grams[b])) &&
+            BitEqual(OverlapSimilarity(kernel_grams[a], kernel_grams[b]),
+                     OverlapSimilarity(ref_grams[a], ref_grams[b])) &&
+            BitEqual(CosineSimilarity(kernel_words[a], kernel_words[b]),
+                     CosineSimilarity(ref_words[a], ref_words[b])) &&
+            BitEqual(DiceSimilarity(kernel_words[a], kernel_words[b]),
+                     DiceSimilarity(ref_words[a], ref_words[b])) &&
+            BitEqual(kernel_corpus.WeightedCosine(kernel_words[a],
+                                                  kernel_words[b]),
+                     ref_corpus.WeightedCosine(ref_words[a], ref_words[b]));
+        if (!ok) {
+          return Replay(options, i,
+                        Status::Internal("similarity diverged on cols " +
+                                         std::to_string(a) + "/" +
+                                         std::to_string(b)));
+        }
+      }
+    }
+
+    // (3) Naive Bayes: boxed and coded kernel paths against the reference,
+    // labels = column names.  The coded classifier trains through the
+    // (dictionary, code) memo; classification must still be bit-identical.
+    ReferenceNaiveBayes reference(nb_q);
+    NaiveBayesClassifier boxed(nb_q);
+    NaiveBayesClassifier coded(nb_q);
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& label = table.schema().attribute(c).name;
+      const Column& column = table.column(c);
+      if (column.type() == ValueType::kString) {
+        const StringDictionary& dict = column.dictionary();
+        for (uint32_t code : column.codes()) {
+          if (code == kNullCode) continue;
+          coded.TrainCoded(dict, code, label);
+        }
+      } else {
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          const Value v = table.ValueAt(r, c);
+          if (!v.is_null()) coded.Train(v, label);
+        }
+      }
+      for (const std::string& text : texts[c]) {
+        reference.Train(text, label);
+        boxed.Train(Value::String(text), label);
+      }
+    }
+    for (size_t c = 0; c < cols; ++c) {
+      const Column& column = table.column(c);
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        const Value v = table.ValueAt(r, c);
+        if (v.is_null()) continue;
+        const std::string text = v.ToString();
+        const std::string expected = reference.Classify(text);
+        const std::string from_boxed = boxed.Classify(Value::String(text));
+        // ClassifyCoded runs twice so the second call exercises the memo.
+        std::string from_coded;
+        if (column.type() == ValueType::kString) {
+          const StringDictionary& dict = column.dictionary();
+          const uint32_t code = column.codes()[r];
+          from_coded = coded.ClassifyCoded(dict, code);
+          if (coded.ClassifyCoded(dict, code) != from_coded) {
+            return Replay(options, i,
+                          Status::Internal("classify memo diverged on \"" +
+                                           text + "\""));
+          }
+        } else {
+          from_coded = coded.Classify(v);
+        }
+        if (from_boxed != expected || from_coded != expected) {
+          return Replay(
+              options, i,
+              Status::Internal("NB classification diverged on \"" + text +
+                               "\": reference=" + expected +
+                               " boxed=" + from_boxed +
+                               " coded=" + from_coded));
+        }
+        for (size_t lc = 0; lc < cols; ++lc) {
+          const std::string& label = table.schema().attribute(lc).name;
+          if (!BitEqual(boxed.LogScore(Value::String(text), label),
+                        reference.LogScore(text, label))) {
+            return Replay(options, i,
+                          Status::Internal("NB log score diverged on \"" +
+                                           text + "\" label " + label));
+          }
+        }
       }
     }
   }

@@ -34,6 +34,13 @@
 //                            Condition::MatchingPositions and TableView
 //                            gather/reads against boxed row-at-a-time
 //                            ground truth (bit-identical fingerprints)
+//   * FuzzTokenKernelEquivalence
+//                            random hostile tables through the interned
+//                            token kernel (text/gram.h): packed gram ids,
+//                            flat profiles, TF-IDF weighted cosine and the
+//                            Naive Bayes classifier (boxed and coded paths)
+//                            against map-of-strings reference
+//                            implementations — every score bit-identical
 
 #ifndef CSM_CHECK_FUZZ_H_
 #define CSM_CHECK_FUZZ_H_
@@ -60,6 +67,7 @@ Status FuzzConditionEvaluation(const FuzzOptions& options);
 Status FuzzPipeline(const FuzzOptions& options);
 Status FuzzDifferential(const FuzzOptions& options);
 Status FuzzRowColumnarEquivalence(const FuzzOptions& options);
+Status FuzzTokenKernelEquivalence(const FuzzOptions& options);
 
 }  // namespace csm::check
 

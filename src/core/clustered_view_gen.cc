@@ -1,8 +1,11 @@
 #include "core/clustered_view_gen.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <optional>
 #include <set>
+#include <unordered_map>
 
 #include <chrono>
 
@@ -14,8 +17,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/categorical.h"
+#include "relational/column.h"
 #include "relational/sample.h"
 #include "stats/significance.h"
+#include "text/gram.h"
 
 namespace csm {
 namespace {
@@ -114,11 +119,30 @@ struct TrainTestOutcome {
   size_t train_count = 0;
 };
 
+/// Per-cycle typed reader state for one attribute: when the backing base
+/// column is a dictionary-encoded string column, rows are read as codes
+/// (kNullCode == NULL) and handed to the classifier's coded fast path;
+/// otherwise rows box through ValueAt exactly as before.  Both train and
+/// test views share the same base table, so one codec serves both loops.
+struct ColumnCodec {
+  const Column* column = nullptr;  // base segment (read through positions)
+  bool coded = false;
+
+  ColumnCodec(const TableView& view, size_t view_col) {
+    column = &view.column(view_col);
+    coded = column->type() == ValueType::kString;
+  }
+};
+
 /// One doTraining + doTesting cycle for (h, l) under `grouping`.  Reads
 /// both sides through zero-copy views; label-value -> group-token lookups
 /// go through a map built once per cycle (label values are unique across
 /// groups, so this is exactly LabelGrouping::TokenFor, minus the linear
-/// scan per row).
+/// scan per row).  String-coded label and evidence columns skip Value
+/// boxing entirely: label tokens resolve by dictionary code, and evidence
+/// cells flow through TrainCoded/ClassifyCoded so the classifier can
+/// memoize per distinct value — the call sequence (and therefore every
+/// score) is identical to the boxed path.
 TrainTestOutcome RunCycle(const TrainTestViewSplit& split, size_t h_col,
                           size_t l_col, const LabelGrouping& grouping,
                           const ClassifierFactory& factory,
@@ -139,16 +163,52 @@ TrainTestOutcome RunCycle(const TrainTestViewSplit& split, size_t h_col,
     return it == token_of.end() ? nullptr : &it->second;
   };
 
+  const ColumnCodec l_codec(split.train, l_col);
+  const ColumnCodec h_codec(split.train, h_col);
+
+  // Code -> group token for a coded label column.  Tokens cover exactly the
+  // values token_of covers: a grouping value missing from the dictionary
+  // never occurs in any row, so both lookups skip the same rows.
+  std::unordered_map<uint32_t, const std::string*> token_by_code;
+  if (l_codec.coded) {
+    token_by_code.reserve(token_of.size());
+    for (const auto& [value, token] : token_of) {
+      if (value.type() != ValueType::kString) continue;
+      std::optional<uint32_t> code = l_codec.column->CodeFor(value.AsString());
+      if (code.has_value()) token_by_code[*code] = &token;
+    }
+  }
+  const std::vector<uint32_t>& l_codes = l_codec.column->codes();
+  const std::vector<uint32_t>& h_codes = h_codec.column->codes();
+  const StringDictionary* h_dict =
+      h_codec.coded ? &h_codec.column->dictionary() : nullptr;
+
   std::map<std::string, size_t> train_label_counts;
   const TableView& train = split.train;
   for (size_t r = 0; r < train.num_rows(); ++r) {
-    const Value l_value = train.ValueAt(r, l_col);
-    if (l_value.is_null()) continue;
-    const Value h_value = train.ValueAt(r, h_col);
-    if (h_value.is_null()) continue;
-    const std::string* token = token_for(l_value);
-    if (token == nullptr) continue;  // value unseen when grouping was formed
-    classifier->Train(h_value, *token);
+    const RowId pos = train.position(r);
+    const std::string* token = nullptr;
+    if (l_codec.coded) {
+      const uint32_t l_code = l_codes[pos];
+      if (l_code == kNullCode) continue;
+      auto it = token_by_code.find(l_code);
+      token = it == token_by_code.end() ? nullptr : it->second;
+    } else {
+      const Value l_value = train.ValueAt(r, l_col);
+      if (l_value.is_null()) continue;
+      token = token_for(l_value);
+    }
+    if (h_codec.coded) {
+      const uint32_t h_code = h_codes[pos];
+      if (h_code == kNullCode) continue;
+      if (token == nullptr) continue;  // value unseen when grouping was formed
+      classifier->TrainCoded(*h_dict, h_code, *token);
+    } else {
+      const Value h_value = train.ValueAt(r, h_col);
+      if (h_value.is_null()) continue;
+      if (token == nullptr) continue;  // value unseen when grouping was formed
+      classifier->Train(h_value, *token);
+    }
     ++train_label_counts[*token];
     ++out.train_count;
   }
@@ -163,13 +223,29 @@ TrainTestOutcome RunCycle(const TrainTestViewSplit& split, size_t h_col,
 
   const TableView& test = split.test;
   for (size_t r = 0; r < test.num_rows(); ++r) {
-    const Value l_value = test.ValueAt(r, l_col);
-    if (l_value.is_null()) continue;
-    const Value h_value = test.ValueAt(r, h_col);
-    if (h_value.is_null()) continue;
-    const std::string* actual = token_for(l_value);
-    if (actual == nullptr) continue;
-    out.eval.Observe(*actual, classifier->Classify(h_value));
+    const RowId pos = test.position(r);
+    const std::string* actual = nullptr;
+    if (l_codec.coded) {
+      const uint32_t l_code = l_codes[pos];
+      if (l_code == kNullCode) continue;
+      auto it = token_by_code.find(l_code);
+      actual = it == token_by_code.end() ? nullptr : it->second;
+    } else {
+      const Value l_value = test.ValueAt(r, l_col);
+      if (l_value.is_null()) continue;
+      actual = token_for(l_value);
+    }
+    if (h_codec.coded) {
+      const uint32_t h_code = h_codes[pos];
+      if (h_code == kNullCode) continue;
+      if (actual == nullptr) continue;
+      out.eval.Observe(*actual, classifier->ClassifyCoded(*h_dict, h_code));
+    } else {
+      const Value h_value = test.ValueAt(r, h_col);
+      if (h_value.is_null()) continue;
+      if (actual == nullptr) continue;
+      out.eval.Observe(*actual, classifier->Classify(h_value));
+    }
   }
   return out;
 }
@@ -311,6 +387,11 @@ std::vector<ViewFamily> ClusteredViewGen(
   // deterministic RNG, so the train/test partitions do not depend on the
   // number of workers (or on which other cells exist being re-ordered).
   const uint64_t grid_seed = rng.Next();
+  const TokenKernelStats& kernel_stats = GlobalTokenKernelStats();
+  const uint64_t memo_hits_before =
+      kernel_stats.nb_memo_hits.load(std::memory_order_relaxed);
+  const uint64_t grams_before =
+      kernel_stats.grams_interned.load(std::memory_order_relaxed);
   std::vector<std::vector<ViewFamily>> cell_results = exec::ParallelMap(
       pool, cells.size(),
       [&](size_t i) {
@@ -345,6 +426,17 @@ std::vector<ViewFamily> ClusteredViewGen(
         return families;
       },
       cancel);
+
+  if (obs.metrics != nullptr) {
+    const uint64_t memo_hits =
+        kernel_stats.nb_memo_hits.load(std::memory_order_relaxed) -
+        memo_hits_before;
+    const uint64_t grams =
+        kernel_stats.grams_interned.load(std::memory_order_relaxed) -
+        grams_before;
+    if (memo_hits > 0) obs.metrics->AddCounter("ml.nb_memo_hits", memo_hits);
+    if (grams > 0) obs.metrics->AddCounter("text.grams_interned", grams);
+  }
 
   // Merge in grid order: best accepted family per (label, partition).
   std::map<std::string, ViewFamily> accepted;

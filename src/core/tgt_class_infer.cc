@@ -29,6 +29,18 @@ std::unique_ptr<ValueClassifier> CreateTargetClassifier(
       if (numeric_type != numeric_attr) continue;
       if (!numeric_type && attr.type != type) continue;
       const std::string label = table.name() + "." + attr.name;
+      if (attr.type == ValueType::kString) {
+        // Coded path: each distinct value is tokenized once by the
+        // classifier's (dictionary, code) training memo.
+        const Column& column = table.column(c);
+        const StringDictionary& dict = column.dictionary();
+        for (uint32_t code : column.codes()) {
+          if (code == kNullCode) continue;
+          classifier->TrainCoded(dict, code, label);
+          trained_any = true;
+        }
+        continue;
+      }
       for (const Value& value : table.ValueBag(c)) {
         if (value.is_null()) continue;
         classifier->Train(value, label);
@@ -45,9 +57,25 @@ std::string TgtTagClassifier::Tag(const Value& input) const {
   return tagger_->Classify(input);
 }
 
+std::string TgtTagClassifier::TagCoded(const StringDictionary& dict,
+                                       uint32_t code) const {
+  if (tagger_ == nullptr) return "";
+  return tagger_->ClassifyCoded(dict, code);
+}
+
 void TgtTagClassifier::Train(const Value& input, const std::string& label) {
   if (input.is_null()) return;
   const std::string tag = Tag(input);
+  ++tbag_[{tag, label}];
+  ++tag_totals_[tag];
+  ++label_totals_[label];
+  ++total_;
+}
+
+void TgtTagClassifier::TrainCoded(const StringDictionary& dict, uint32_t code,
+                                  const std::string& label) {
+  if (code == kNullCode) return;
+  const std::string tag = TagCoded(dict, code);
   ++tbag_[{tag, label}];
   ++tag_totals_[tag];
   ++label_totals_[label];
@@ -88,6 +116,12 @@ std::string TgtTagClassifier::BestCat(const std::string& tag) const {
 std::string TgtTagClassifier::Classify(const Value& input) const {
   if (total_ == 0 || input.is_null()) return "";
   return BestCat(Tag(input));
+}
+
+std::string TgtTagClassifier::ClassifyCoded(const StringDictionary& dict,
+                                            uint32_t code) const {
+  if (total_ == 0 || code == kNullCode) return "";
+  return BestCat(TagCoded(dict, code));
 }
 
 std::vector<std::string> TgtTagClassifier::Labels() const {

@@ -41,6 +41,12 @@ class TgtTagClassifier : public ValueClassifier {
 
   void Train(const Value& input, const std::string& label) override;
   std::string Classify(const Value& input) const override;
+  /// Coded fast paths: hand the dictionary code straight to the shared
+  /// tagger so its per-distinct-value memo is keyed without boxing.
+  void TrainCoded(const StringDictionary& dict, uint32_t code,
+                  const std::string& label) override;
+  std::string ClassifyCoded(const StringDictionary& dict,
+                            uint32_t code) const override;
   std::vector<std::string> Labels() const override;
   size_t TrainingSize() const override { return total_; }
 
@@ -52,6 +58,7 @@ class TgtTagClassifier : public ValueClassifier {
 
  private:
   std::string Tag(const Value& input) const;
+  std::string TagCoded(const StringDictionary& dict, uint32_t code) const;
 
   std::shared_ptr<const ValueClassifier> tagger_;
   /// TBag counts: (tag, label) -> occurrences.

@@ -9,12 +9,13 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "relational/schema.h"
 #include "relational/table.h"
 #include "stats/descriptive.h"
-#include "text/profile.h"
+#include "text/gram.h"
 
 namespace csm {
 
@@ -23,6 +24,13 @@ namespace csm {
 /// lazily and cached, so a sample kept alive across many Score() calls
 /// (e.g., a target attribute compared against many candidate views) pays
 /// the tokenization cost once.
+///
+/// Two storage modes: FromTable keeps the attribute's Column segment
+/// (sharing the string dictionary, no boxing), and the profile builders
+/// tokenize each *distinct* rendered value once, scaled by its
+/// multiplicity — bit-identical to per-row tokenization because the counts
+/// are exact integers.  The explicit-bag constructor (restricted candidate
+/// bags, tests) keeps boxed Values; values() boxes lazily in column mode.
 ///
 /// Thread safety: the lazy caches are built under std::call_once, so a
 /// sample shared across ParallelFor workers (a TableMatchSession's target
@@ -33,25 +41,32 @@ class AttributeSample {
  public:
   AttributeSample() = default;
   AttributeSample(AttributeRef ref, ValueType type, std::vector<Value> values)
-      : ref_(std::move(ref)), type_(type), values_(std::move(values)) {}
+      : ref_(std::move(ref)),
+        type_(type),
+        values_(std::move(values)),
+        size_(values_.size()) {}
 
-  /// Builds a sample for one attribute of `instance`.
+  /// Builds a sample for one attribute of `instance`, keeping the column
+  /// segment (dictionary shared, no per-row boxing).
   static AttributeSample FromTable(const Table& instance,
                                    std::string_view attribute);
 
   const AttributeRef& ref() const { return ref_; }
   ValueType declared_type() const { return type_; }
-  const std::vector<Value>& values() const { return values_; }
-  size_t size() const { return values_.size(); }
 
-  /// Number of non-null values.
+  /// The boxed value bag; in column mode it is materialized lazily on
+  /// first use (the profile paths never need it).
+  const std::vector<Value>& values() const;
+  size_t size() const { return size_; }
+
+  /// Number of non-null values (cached).
   size_t NonNullCount() const;
 
   /// Cached padded 3-gram profile over all non-null values.
-  const TokenProfile& QGramProfile() const;
+  const GramProfile& QGramProfile() const;
 
   /// Cached word-token profile over all non-null values.
-  const TokenProfile& WordProfile() const;
+  const csm::WordProfile& WordProfile() const;
 
   /// Cached numeric stats over the numeric values; empty accumulator when
   /// the attribute has no numeric values.
@@ -64,17 +79,32 @@ class AttributeSample {
   /// Lazily built caches guarded by once-flags (which are neither copyable
   /// nor movable, hence the shared heap block).
   struct Caches {
+    std::once_flag values_once;
+    std::once_flag non_null_once;
+    std::once_flag distinct_once;
     std::once_flag qgram_once;
     std::once_flag word_once;
     std::once_flag numeric_once;
-    std::optional<TokenProfile> qgram_profile;
-    std::optional<TokenProfile> word_profile;
+    std::optional<std::vector<Value>> boxed_values;
+    size_t non_null_count = 0;
+    /// Distinct rendered (ToString) non-null values with multiplicities.
+    std::optional<std::vector<std::pair<std::string, double>>> distinct;
+    std::optional<GramProfile> qgram_profile;
+    std::optional<csm::WordProfile> word_profile;
     std::optional<DescriptiveStats> numeric_stats;
   };
 
+  /// Distinct rendered values with multiplicities — the shared input of
+  /// both token profile builders.
+  const std::vector<std::pair<std::string, double>>& DistinctRenders() const;
+
   AttributeRef ref_;
   ValueType type_ = ValueType::kString;
+  /// Column mode: the attribute's segment (dictionary shared with the
+  /// source table, copy-on-write).  Bag mode: values_ holds the bag.
+  std::optional<Column> column_;
   std::vector<Value> values_;
+  size_t size_ = 0;
   std::shared_ptr<Caches> caches_ = std::make_shared<Caches>();
 };
 

@@ -50,10 +50,14 @@ double NameMatcher::Score(const AttributeSample& source,
   const std::string b = ToLower(target.ref().attribute);
   double edit_sim = JaroWinklerSimilarity(a, b);
 
-  TokenProfile pa, pb;
-  pa.AddAll(NameTokens(source.ref().attribute));
-  pb.AddAll(NameTokens(target.ref().attribute));
-  double token_sim = DiceSimilarity(pa, pb);
+  WordProfileBuilder pa, pb;
+  for (const std::string& token : NameTokens(source.ref().attribute)) {
+    pa.Add(token);
+  }
+  for (const std::string& token : NameTokens(target.ref().attribute)) {
+    pb.Add(token);
+  }
+  double token_sim = DiceSimilarity(pa.Build(), pb.Build());
   return std::max(edit_sim, token_sim);
 }
 

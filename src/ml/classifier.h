@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "relational/column.h"
 #include "relational/value.h"
 
 namespace csm {
@@ -26,6 +27,21 @@ class ValueClassifier {
   /// Classifies `input`.  Returns the empty string when the classifier has
   /// seen no training data (or cannot score the input at all).
   virtual std::string Classify(const Value& input) const = 0;
+
+  /// Coded fast path: the example is cell `code` of a dictionary-encoded
+  /// string column.  Semantically identical to boxing the cell into a Value
+  /// (kNullCode behaves as NULL); implementations may key per-distinct-value
+  /// memos on (dictionary, code).  Defaults fall back to the Value path.
+  virtual void TrainCoded(const StringDictionary& dict, uint32_t code,
+                          const std::string& label) {
+    if (code == kNullCode) return;
+    Train(Value::String(dict.value(code)), label);
+  }
+  virtual std::string ClassifyCoded(const StringDictionary& dict,
+                                    uint32_t code) const {
+    if (code == kNullCode) return Classify(Value::Null());
+    return Classify(Value::String(dict.value(code)));
+  }
 
   /// Distinct labels seen during training, sorted.
   virtual std::vector<std::string> Labels() const = 0;

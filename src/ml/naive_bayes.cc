@@ -1,22 +1,183 @@
 #include "ml/naive_bayes.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "text/tokenizer.h"
 
 namespace csm {
+namespace {
 
-void NaiveBayesClassifier::Train(const Value& input, const std::string& label) {
-  if (input.is_null()) return;
+/// Per-thread tokenization scratch (normalized text / gram strings / ids),
+/// so the per-row training and classification loops allocate nothing.
+struct TokenScratch {
+  std::string padded;
+  std::vector<std::string> gram_strings;
+  std::vector<GramId> ids;
+};
+
+TokenScratch& LocalScratch() {
+  static thread_local TokenScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+NaiveBayesClassifier::NaiveBayesClassifier(
+    NaiveBayesClassifier&& other) noexcept
+    : q_(other.q_),
+      smoothing_(other.smoothing_),
+      total_examples_(other.total_examples_),
+      labels_(std::move(other.labels_)),
+      vocabulary_(std::move(other.vocabulary_)),
+      gram_interner_(std::move(other.gram_interner_)),
+      train_token_memo_(std::move(other.train_token_memo_)),
+      finalized_(other.finalized_),
+      models_(std::move(other.models_)),
+      classify_memo_(std::move(other.classify_memo_)) {}
+
+NaiveBayesClassifier& NaiveBayesClassifier::operator=(
+    NaiveBayesClassifier&& other) noexcept {
+  if (this == &other) return *this;
+  q_ = other.q_;
+  smoothing_ = other.smoothing_;
+  total_examples_ = other.total_examples_;
+  labels_ = std::move(other.labels_);
+  vocabulary_ = std::move(other.vocabulary_);
+  gram_interner_ = std::move(other.gram_interner_);
+  train_token_memo_ = std::move(other.train_token_memo_);
+  finalized_ = other.finalized_;
+  models_ = std::move(other.models_);
+  classify_memo_ = std::move(other.classify_memo_);
+  return *this;
+}
+
+void NaiveBayesClassifier::TokenizeTrain(std::string_view text,
+                                         std::vector<GramId>* out) {
+  out->clear();
+  if (Packed()) {
+    AppendPackedQGrams(text, q_, &LocalScratch().padded, out);
+    return;
+  }
+  if (gram_interner_ == nullptr) {
+    gram_interner_ = std::make_unique<TokenInterner>();
+  }
+  std::vector<std::string>& grams = LocalScratch().gram_strings;
+  QGrams(text, q_, &grams);
+  out->reserve(grams.size());
+  for (const std::string& gram : grams) {
+    out->push_back(gram_interner_->GetOrAdd(gram));
+  }
+}
+
+void NaiveBayesClassifier::TokenizeLookup(std::string_view text,
+                                          std::vector<GramId>* out) const {
+  out->clear();
+  if (Packed()) {
+    AppendPackedQGrams(text, q_, &LocalScratch().padded, out);
+    return;
+  }
+  std::vector<std::string>& grams = LocalScratch().gram_strings;
+  QGrams(text, q_, &grams);
+  out->reserve(grams.size());
+  for (const std::string& gram : grams) {
+    out->push_back(gram_interner_ == nullptr ? kNoGramId
+                                             : gram_interner_->Find(gram));
+  }
+}
+
+void NaiveBayesClassifier::TrainTokens(const std::vector<GramId>& grams,
+                                       const std::string& label) {
   LabelStats& stats = labels_[label];
   ++stats.example_count;
   ++total_examples_;
-  for (const std::string& gram : QGrams(input.ToString(), q_)) {
+  uint64_t fresh = 0;
+  for (GramId gram : grams) {
     stats.token_counts[gram] += 1.0;
     stats.token_total += 1.0;
-    vocabulary_.insert(gram);
+    if (vocabulary_.insert(gram).second) ++fresh;
   }
+  if (fresh > 0) {
+    GlobalTokenKernelStats().grams_interned.fetch_add(
+        fresh, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    finalized_ = false;
+  }
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (!classify_memo_.empty()) classify_memo_.clear();
+}
+
+void NaiveBayesClassifier::Train(const Value& input, const std::string& label) {
+  if (input.is_null()) return;
+  std::vector<GramId>& ids = LocalScratch().ids;
+  TokenizeTrain(input.ToString(), &ids);
+  TrainTokens(ids, label);
+}
+
+void NaiveBayesClassifier::TrainCoded(const StringDictionary& dict,
+                                      uint32_t code,
+                                      const std::string& label) {
+  if (code == kNullCode) return;
+  auto& per_dict = train_token_memo_[&dict];
+  auto [it, inserted] = per_dict.try_emplace(code);
+  if (inserted) TokenizeTrain(dict.value(code), &it->second);
+  TrainTokens(it->second, label);
+}
+
+const std::vector<NaiveBayesClassifier::LabelModel>&
+NaiveBayesClassifier::Finalized() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  if (finalized_) return models_;
+  models_.clear();
+  models_.reserve(labels_.size());
+  const double num_labels = static_cast<double>(labels_.size());
+  const double vocab = static_cast<double>(vocabulary_.size());
+  for (const auto& [label, stats] : labels_) {
+    LabelModel model;
+    model.label = &label;
+    model.example_count = stats.example_count;
+    // The exact expressions of the original per-call implementation, so the
+    // precomputed doubles are bit-identical to recomputing them per row.
+    model.log_prior = std::log(
+        (static_cast<double>(stats.example_count) + smoothing_) /
+        (static_cast<double>(total_examples_) + smoothing_ * num_labels));
+    const double denom = stats.token_total + smoothing_ * (vocab + 1.0);
+    model.log_unseen = std::log((0.0 + smoothing_) / denom);
+    model.gram_ids.reserve(stats.token_counts.size());
+    for (const auto& [gram, count] : stats.token_counts) {
+      model.gram_ids.push_back(gram);
+    }
+    std::sort(model.gram_ids.begin(), model.gram_ids.end());
+    model.gram_log_prob.reserve(model.gram_ids.size());
+    for (GramId gram : model.gram_ids) {
+      const double count = stats.token_counts.at(gram);
+      model.gram_log_prob.push_back(std::log((count + smoothing_) / denom));
+    }
+    models_.push_back(std::move(model));
+  }
+  finalized_ = true;
+  return models_;
+}
+
+double NaiveBayesClassifier::ScoreTokens(
+    const LabelModel& model, const std::vector<GramId>& grams) const {
+  double score = model.log_prior;
+  for (GramId gram : grams) {
+    double term = model.log_unseen;
+    if (gram != kNoGramId) {
+      auto it = std::lower_bound(model.gram_ids.begin(), model.gram_ids.end(),
+                                 gram);
+      if (it != model.gram_ids.end() && *it == gram) {
+        term = model.gram_log_prob[static_cast<size_t>(
+            it - model.gram_ids.begin())];
+      }
+    }
+    score += term;
+  }
+  return score;
 }
 
 double NaiveBayesClassifier::LogScore(const Value& input,
@@ -25,40 +186,64 @@ double NaiveBayesClassifier::LogScore(const Value& input,
   if (it == labels_.end() || total_examples_ == 0) {
     return -std::numeric_limits<double>::infinity();
   }
-  const LabelStats& stats = it->second;
-  // Smoothed log prior.
-  const double num_labels = static_cast<double>(labels_.size());
-  double score = std::log(
-      (static_cast<double>(stats.example_count) + smoothing_) /
-      (static_cast<double>(total_examples_) + smoothing_ * num_labels));
-  const double vocab = static_cast<double>(vocabulary_.size());
-  const double denom = stats.token_total + smoothing_ * (vocab + 1.0);
-  for (const std::string& gram : QGrams(input.ToString(), q_)) {
-    auto token_it = stats.token_counts.find(gram);
-    const double count =
-        token_it == stats.token_counts.end() ? 0.0 : token_it->second;
-    score += std::log((count + smoothing_) / denom);
+  const std::vector<LabelModel>& models = Finalized();
+  const size_t index =
+      static_cast<size_t>(std::distance(labels_.begin(), it));
+  std::vector<GramId>& ids = LocalScratch().ids;
+  TokenizeLookup(input.ToString(), &ids);
+  return ScoreTokens(models[index], ids);
+}
+
+std::string NaiveBayesClassifier::ClassifyTokens(
+    const std::vector<GramId>& grams) const {
+  const std::vector<LabelModel>& models = Finalized();
+  const std::string* best = nullptr;
+  double best_score = -std::numeric_limits<double>::infinity();
+  size_t best_frequency = 0;
+  for (const LabelModel& model : models) {
+    const double score = ScoreTokens(model, grams);
+    // Ties break toward the more frequent label, then lexicographically
+    // (model order == label map order), for determinism.
+    if (score > best_score ||
+        (score == best_score && model.example_count > best_frequency)) {
+      best = model.label;
+      best_score = score;
+      best_frequency = model.example_count;
+    }
   }
-  return score;
+  return best == nullptr ? "" : *best;
 }
 
 std::string NaiveBayesClassifier::Classify(const Value& input) const {
   if (labels_.empty() || input.is_null()) return "";
-  std::string best;
-  double best_score = -std::numeric_limits<double>::infinity();
-  size_t best_frequency = 0;
-  for (const auto& [label, stats] : labels_) {
-    double score = LogScore(input, label);
-    // Ties break toward the more frequent label, then lexicographically
-    // (map order), for determinism.
-    if (score > best_score ||
-        (score == best_score && stats.example_count > best_frequency)) {
-      best = label;
-      best_score = score;
-      best_frequency = stats.example_count;
+  std::vector<GramId>& ids = LocalScratch().ids;
+  TokenizeLookup(input.ToString(), &ids);
+  return ClassifyTokens(ids);
+}
+
+std::string NaiveBayesClassifier::ClassifyCoded(const StringDictionary& dict,
+                                                uint32_t code) const {
+  if (labels_.empty() || code == kNullCode) return "";
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto dict_it = classify_memo_.find(&dict);
+    if (dict_it != classify_memo_.end()) {
+      auto it = dict_it->second.find(code);
+      if (it != dict_it->second.end()) {
+        GlobalTokenKernelStats().nb_memo_hits.fetch_add(
+            1, std::memory_order_relaxed);
+        return it->second;
+      }
     }
   }
-  return best;
+  // Miss: compute outside the lock (a racing duplicate computes the same
+  // deterministic label), then publish.
+  std::vector<GramId>& ids = LocalScratch().ids;
+  TokenizeLookup(dict.value(code), &ids);
+  std::string label = ClassifyTokens(ids);
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  classify_memo_[&dict].emplace(code, label);
+  return label;
 }
 
 std::vector<std::string> NaiveBayesClassifier::Labels() const {

@@ -1,15 +1,35 @@
 // Multinomial Naive Bayes over 3-gram tokens (Section 3.2.3: "If h is a
 // text attribute, a standard Naive Bayesian classifier is used, with the
 // values tokenized into 3-grams").
+//
+// Internally the classifier runs on the interned token kernel (text/gram.h):
+// grams are packed uint32 ids (q <= 4) or interned ids (larger q), per-label
+// counts live in hash maps during training, and the first classification
+// finalizes them into contiguous sorted (id, log-probability) arrays with
+// precomputed log-priors and smoothing denominators.  Scores are
+// bit-identical to the original map-of-strings implementation: every log
+// term is the same std::log((count + alpha) / denom) double, summed in the
+// same per-occurrence order.
+//
+// Thread safety: training is single-writer (no concurrent reads), after
+// which any number of threads may classify concurrently — the lazy finalize
+// and the per-distinct-input memo of ClassifyCoded are mutex-guarded, which
+// is what lets TgtClassInfer share one trained tagger across all grid-cell
+// workers.
 
 #ifndef CSM_ML_NAIVE_BAYES_H_
 #define CSM_ML_NAIVE_BAYES_H_
 
 #include <map>
-#include <set>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "ml/classifier.h"
+#include "text/gram.h"
 
 namespace csm {
 
@@ -21,8 +41,22 @@ class NaiveBayesClassifier : public ValueClassifier {
   explicit NaiveBayesClassifier(size_t q = 3, double smoothing = 1.0)
       : q_(q), smoothing_(smoothing) {}
 
+  /// Movable (single-threaded by contract: no concurrent access to either
+  /// side during the move); the mutexes of the destination start fresh.
+  NaiveBayesClassifier(NaiveBayesClassifier&& other) noexcept;
+  NaiveBayesClassifier& operator=(NaiveBayesClassifier&& other) noexcept;
+
   void Train(const Value& input, const std::string& label) override;
   std::string Classify(const Value& input) const override;
+
+  /// Coded fast path: tokenization is memoized per (dictionary, code), and
+  /// ClassifyCoded additionally memoizes the winning label per distinct
+  /// input, so a repeated evidence value pays the log-sum once.
+  void TrainCoded(const StringDictionary& dict, uint32_t code,
+                  const std::string& label) override;
+  std::string ClassifyCoded(const StringDictionary& dict,
+                            uint32_t code) const override;
+
   std::vector<std::string> Labels() const override;
   size_t TrainingSize() const override { return total_examples_; }
 
@@ -35,14 +69,64 @@ class NaiveBayesClassifier : public ValueClassifier {
   struct LabelStats {
     size_t example_count = 0;
     double token_total = 0.0;
-    std::map<std::string, double> token_counts;
+    std::unordered_map<GramId, double> token_counts;
   };
+
+  /// Finalized per-label scoring model, in labels_ (lexicographic) order.
+  struct LabelModel {
+    const std::string* label = nullptr;
+    size_t example_count = 0;
+    double log_prior = 0.0;
+    double log_unseen = 0.0;                // log((0 + alpha) / denom)
+    std::vector<GramId> gram_ids;           // sorted
+    std::vector<double> gram_log_prob;      // parallel to gram_ids
+  };
+
+  bool Packed() const { return q_ <= kMaxPackedGramQ; }
+
+  /// Tokenizes `text` into gram ids, interning unseen word-grams in the
+  /// q > kMaxPackedGramQ fallback (training path, single-writer).
+  void TokenizeTrain(std::string_view text, std::vector<GramId>* out);
+
+  /// Lookup-only tokenization; unseen word-grams map to kNoGramId, which
+  /// ScoreTokens treats as unseen.  Safe for concurrent readers.
+  void TokenizeLookup(std::string_view text, std::vector<GramId>* out) const;
+
+  void TrainTokens(const std::vector<GramId>& grams, const std::string& label);
+
+  /// Builds models_ on first use after training; thread-safe.
+  const std::vector<LabelModel>& Finalized() const;
+
+  double ScoreTokens(const LabelModel& model,
+                     const std::vector<GramId>& grams) const;
+
+  /// Classify over pre-tokenized input (the shared tie-break loop).
+  std::string ClassifyTokens(const std::vector<GramId>& grams) const;
 
   size_t q_;
   double smoothing_;
   size_t total_examples_ = 0;
   std::map<std::string, LabelStats> labels_;
-  std::set<std::string> vocabulary_;
+  std::unordered_set<GramId> vocabulary_;
+
+  /// Interner for the q > kMaxPackedGramQ fallback (mutated during
+  /// training only).
+  std::unique_ptr<TokenInterner> gram_interner_;
+
+  /// Token memo for TrainCoded: (dictionary, code) -> gram ids.  Written
+  /// during single-writer training only.
+  std::unordered_map<const StringDictionary*,
+                     std::unordered_map<uint32_t, std::vector<GramId>>>
+      train_token_memo_;
+
+  // Lazily finalized model + classification memo; see class comment.
+  mutable std::mutex model_mu_;
+  mutable bool finalized_ = false;  // guarded by model_mu_
+  mutable std::vector<LabelModel> models_;
+  mutable std::mutex memo_mu_;
+  mutable std::unordered_map<const StringDictionary*,
+                             std::unordered_map<uint32_t, std::string>>
+      classify_memo_;  // guarded by memo_mu_
 };
 
 }  // namespace csm

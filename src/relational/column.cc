@@ -1,6 +1,8 @@
 #include "relational/column.h"
 
+#include <algorithm>
 #include <charconv>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -55,6 +57,71 @@ Value Column::GetValue(size_t i) const {
                                     : Value::String(dict_->value(codes_[i]));
   }
   return Value::Null();
+}
+
+void Column::BoxAllTo(std::vector<Value>* out) const {
+  // emplace_back constructs each Value directly in the vector storage with
+  // the alternative known at compile time: one construction per cell, no
+  // temporary + move and no per-cell variant dispatch.
+  out->reserve(out->size() + size_);
+  switch (type_) {
+    case ValueType::kNull:
+      for (size_t i = 0; i < size_; ++i) out->emplace_back();
+      break;
+    case ValueType::kInt:
+      for (size_t i = 0; i < size_; ++i) {
+        if (nulls_[i]) out->emplace_back();
+        else out->emplace_back(ints_[i]);
+      }
+      break;
+    case ValueType::kReal:
+      for (size_t i = 0; i < size_; ++i) {
+        if (nulls_[i]) out->emplace_back();
+        else out->emplace_back(reals_[i]);
+      }
+      break;
+    case ValueType::kString: {
+      const std::vector<std::string>& strings = dict_->values();
+      for (size_t i = 0; i < size_; ++i) {
+        if (codes_[i] == kNullCode) out->emplace_back();
+        else out->emplace_back(strings[codes_[i]]);
+      }
+      break;
+    }
+  }
+}
+
+void Column::BoxGatheredTo(const PosList& positions,
+                           std::vector<Value>* out) const {
+  out->reserve(out->size() + positions.size());
+  switch (type_) {
+    case ValueType::kNull:
+      for (size_t i = 0; i < positions.size(); ++i) out->emplace_back();
+      break;
+    case ValueType::kInt:
+      for (RowId p : positions) {
+        CSM_CHECK_LT(p, size_);
+        if (nulls_[p]) out->emplace_back();
+        else out->emplace_back(ints_[p]);
+      }
+      break;
+    case ValueType::kReal:
+      for (RowId p : positions) {
+        CSM_CHECK_LT(p, size_);
+        if (nulls_[p]) out->emplace_back();
+        else out->emplace_back(reals_[p]);
+      }
+      break;
+    case ValueType::kString: {
+      const std::vector<std::string>& strings = dict_->values();
+      for (RowId p : positions) {
+        CSM_CHECK_LT(p, size_);
+        if (codes_[p] == kNullCode) out->emplace_back();
+        else out->emplace_back(strings[codes_[p]]);
+      }
+      break;
+    }
+  }
 }
 
 uint64_t Column::CellHash(size_t i) const {
@@ -299,6 +366,17 @@ const StringDictionary& Column::dictionary() const {
 std::optional<uint32_t> Column::CodeFor(std::string_view s) const {
   if (type_ != ValueType::kString) return std::nullopt;
   return dict_->Find(s);
+}
+
+std::vector<std::pair<uint32_t, size_t>> Column::CodeCounts() const {
+  CSM_CHECK(type_ == ValueType::kString) << "not a string column";
+  std::unordered_map<uint32_t, size_t> counts;
+  for (uint32_t code : codes_) {
+    if (code != kNullCode) ++counts[code];
+  }
+  std::vector<std::pair<uint32_t, size_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Column::EnsureOwnDictionary() {

@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -49,6 +50,11 @@ class StringDictionary {
 
   const std::string& value(uint32_t code) const;
   size_t size() const { return values_.size(); }
+
+  /// Direct code -> string storage for bulk scan loops.  Codes read out of
+  /// a column segment are valid by construction (validated on append), so
+  /// indexing this skips the per-call bounds CHECK of value().
+  const std::vector<std::string>& values() const { return values_; }
 
  private:
   struct Hash {
@@ -95,6 +101,13 @@ class Column {
   /// Hash of cell `i`, identical to GetValue(i).Hash().
   uint64_t CellHash(size_t i) const;
 
+  /// Appends GetValue(i) for every cell to `out`, with the type switch
+  /// hoisted out of the row loop (the bulk boxing path of ValueBag).
+  void BoxAllTo(std::vector<Value>* out) const;
+
+  /// Appends GetValue(p) for each position in `positions` to `out`.
+  void BoxGatheredTo(const PosList& positions, std::vector<Value>* out) const;
+
   /// Appends `v`; CHECK-fails unless v is NULL or matches type().
   void Append(const Value& v);
   void AppendNull();
@@ -135,6 +148,14 @@ class Column {
   /// Code of string value `s` in this column's dictionary, or nullopt when
   /// the column is not a string column or never saw `s`.
   std::optional<uint32_t> CodeFor(std::string_view s) const;
+
+  /// Typed distinct-count access for a kString column: the distinct codes
+  /// referenced by this column's rows with their multiplicities, sorted by
+  /// code (== dictionary first-seen order), NULL cells excluded.  Cost is
+  /// O(rows) hash aggregation — deliberately not O(dictionary), since
+  /// gathered columns share (possibly much larger) parent dictionaries.
+  /// CHECK-fails on non-string columns.
+  std::vector<std::pair<uint32_t, size_t>> CodeCounts() const;
 
  private:
   void EnsureOwnDictionary();

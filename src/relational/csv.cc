@@ -377,6 +377,14 @@ StatusOr<Table> TableFromCsvParallel(const TableSchema& schema,
   Table out(schema);
   if (!parsed.empty()) {
     out = std::move(parsed.front().table);
+    // Reserve the merged size up front: without this every AppendRowsFrom
+    // regrows the destination segments geometrically, re-copying the prefix
+    // once per chunk.
+    size_t total_rows = 0;
+    for (const ChunkResult& result : parsed) {
+      total_rows += result.table.num_rows();
+    }
+    out.Reserve(total_rows);
     for (size_t i = 1; i < parsed.size(); ++i) {
       out.AppendRowsFrom(parsed[i].table);
     }

@@ -140,10 +140,8 @@ std::vector<Value> Table::ValueBag(std::string_view attribute) const {
 
 std::vector<Value> Table::ValueBag(size_t col_index) const {
   CSM_CHECK_LT(col_index, schema_.num_attributes());
-  const Column& col = columns_[col_index];
   std::vector<Value> bag;
-  bag.reserve(num_rows_);
-  for (size_t r = 0; r < num_rows_; ++r) bag.push_back(col.GetValue(r));
+  columns_[col_index].BoxAllTo(&bag);
   return bag;
 }
 

@@ -63,13 +63,11 @@ std::vector<Value> TableView::ValueBag(std::string_view attribute) const {
 
 std::vector<Value> TableView::ValueBag(size_t col_index) const {
   const Column& col = column(col_index);
-  const size_t n = num_rows();
   std::vector<Value> bag;
-  bag.reserve(n);
   if (identity_) {
-    for (size_t r = 0; r < n; ++r) bag.push_back(col.GetValue(r));
+    col.BoxAllTo(&bag);
   } else {
-    for (RowId p : positions_) bag.push_back(col.GetValue(p));
+    col.BoxGatheredTo(positions_, &bag);
   }
   return bag;
 }

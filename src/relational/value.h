@@ -42,7 +42,10 @@ class Value {
   Value() : rep_(std::monostate{}) {}
   explicit Value(int64_t v) : rep_(v) {}
   explicit Value(double v) : rep_(v) {}
-  explicit Value(std::string v) : rep_(std::move(v)) {}
+  /// The lvalue overload copies straight into the variant — bulk boxing
+  /// (Column::BoxAllTo) emplaces cells with exactly one string construction.
+  explicit Value(const std::string& v) : rep_(v) {}
+  explicit Value(std::string&& v) : rep_(std::move(v)) {}
   explicit Value(const char* v) : rep_(std::string(v)) {}
 
   static Value Null() { return Value(); }

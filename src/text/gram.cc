@@ -1,0 +1,334 @@
+#include "text/gram.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace csm {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+char ToLowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+TokenKernelStats& GlobalTokenKernelStats() {
+  static TokenKernelStats* stats = new TokenKernelStats();
+  return *stats;
+}
+
+GramId PackGram(std::string_view gram) {
+  CSM_CHECK_LE(gram.size(), kMaxPackedGramQ);
+  GramId id = 0;
+  for (char c : gram) {
+    id = (id << 8) | static_cast<uint8_t>(c);
+  }
+  return id;
+}
+
+std::string UnpackGram(GramId id, size_t q) {
+  CSM_CHECK_LE(q, kMaxPackedGramQ);
+  std::string gram(q, '\0');
+  for (size_t i = q; i-- > 0;) {
+    gram[i] = static_cast<char>(id & 0xffu);
+    id >>= 8;
+  }
+  return gram;
+}
+
+void AppendPackedQGrams(std::string_view text, size_t q, std::string* scratch,
+                        std::vector<GramId>* out) {
+  if (q == 0) return;
+  CSM_CHECK_LE(q, kMaxPackedGramQ);
+  // Build the padded normalized text: (q-1) '#', NormalizeText(text),
+  // (q-1) '#' — one pass, no intermediate string.
+  scratch->assign(q - 1, '#');
+  bool pending_space = false;
+  bool any = false;
+  for (char c : text) {
+    if (IsWordChar(c)) {
+      if (pending_space && any) *scratch += ' ';
+      pending_space = false;
+      *scratch += ToLowerChar(c);
+      any = true;
+    } else {
+      pending_space = true;
+    }
+  }
+  if (!any) return;  // NormalizeText empty -> no grams (QGrams contract)
+  scratch->append(q - 1, '#');
+
+  const char* data = scratch->data();
+  const size_t n = scratch->size();
+  out->reserve(out->size() + (n - q + 1));
+  // Rolling big-endian pack: keep the low q bytes of a shifting window.
+  const GramId mask =
+      q == sizeof(GramId) ? ~GramId{0} : ((GramId{1} << (8 * q)) - 1);
+  GramId id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    id = ((id << 8) | static_cast<uint8_t>(data[i])) & mask;
+    if (i + 1 >= q) out->push_back(id);
+  }
+}
+
+GramId TokenInterner::GetOrAdd(std::string_view token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  const GramId id = static_cast<GramId>(tokens_.size());
+  tokens_.emplace_back(token);
+  index_.emplace(std::string_view(tokens_.back()), id);
+  GlobalTokenKernelStats().grams_interned.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  return id;
+}
+
+GramId TokenInterner::Find(std::string_view token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kNoGramId : it->second;
+}
+
+double GramProfile::Count(GramId id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, GramId target) { return e.id < target; });
+  return it != entries_.end() && it->id == id ? it->count : 0.0;
+}
+
+double GramProfile::Norm() const {
+  double sum_sq = 0.0;
+  for (const Entry& e : entries_) sum_sq += e.count * e.count;
+  return std::sqrt(sum_sq);
+}
+
+double GramProfile::Dot(const GramProfile& other) const {
+  double dot = 0.0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->id < b->id) {
+      ++a;
+    } else if (b->id < a->id) {
+      ++b;
+    } else {
+      dot += a->count * b->count;
+      ++a;
+      ++b;
+    }
+  }
+  return dot;
+}
+
+size_t GramProfile::IntersectionSize(const GramProfile& other) const {
+  size_t n = 0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->id < b->id) {
+      ++a;
+    } else if (b->id < a->id) {
+      ++b;
+    } else {
+      ++n;
+      ++a;
+      ++b;
+    }
+  }
+  return n;
+}
+
+void GramProfileBuilder::Add(GramId id, double count) {
+  counts_[id] += count;
+  total_ += count;
+}
+
+void GramProfileBuilder::AddText(std::string_view text, size_t q,
+                                 double count) {
+  ids_.clear();
+  AppendPackedQGrams(text, q, &scratch_, &ids_);
+  for (GramId id : ids_) Add(id, count);
+}
+
+GramProfile GramProfileBuilder::Build() {
+  GramProfile profile;
+  profile.entries_.reserve(counts_.size());
+  for (const auto& [id, count] : counts_) {
+    profile.entries_.push_back({id, count});
+  }
+  std::sort(profile.entries_.begin(), profile.entries_.end(),
+            [](const GramProfile::Entry& a, const GramProfile::Entry& b) {
+              return a.id < b.id;
+            });
+  profile.total_ = total_;
+  GlobalTokenKernelStats().grams_interned.fetch_add(
+      profile.entries_.size(), std::memory_order_relaxed);
+  counts_.clear();
+  total_ = 0.0;
+  return profile;
+}
+
+double WordProfile::Count(std::string_view token) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), token,
+      [](const Entry& e, std::string_view target) { return e.token < target; });
+  return it != entries_.end() && it->token == token ? it->count : 0.0;
+}
+
+double WordProfile::Norm() const {
+  double sum_sq = 0.0;
+  for (const Entry& e : entries_) sum_sq += e.count * e.count;
+  return std::sqrt(sum_sq);
+}
+
+double WordProfile::Dot(const WordProfile& other) const {
+  double dot = 0.0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->token < b->token) {
+      ++a;
+    } else if (b->token < a->token) {
+      ++b;
+    } else {
+      dot += a->count * b->count;
+      ++a;
+      ++b;
+    }
+  }
+  return dot;
+}
+
+size_t WordProfile::IntersectionSize(const WordProfile& other) const {
+  size_t n = 0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->token < b->token) {
+      ++a;
+    } else if (b->token < a->token) {
+      ++b;
+    } else {
+      ++n;
+      ++a;
+      ++b;
+    }
+  }
+  return n;
+}
+
+WordProfileBuilder::WordProfileBuilder()
+    : interner_(std::make_shared<TokenInterner>()) {}
+
+void WordProfileBuilder::Add(std::string_view token, double count) {
+  const GramId id = interner_->GetOrAdd(token);
+  if (id >= counts_.size()) counts_.resize(id + 1, 0.0);
+  counts_[id] += count;
+  total_ += count;
+}
+
+void WordProfileBuilder::AddText(std::string_view text, double count) {
+  token_scratch_.clear();
+  for (char c : text) {
+    if (IsWordChar(c)) {
+      token_scratch_ += ToLowerChar(c);
+    } else if (!token_scratch_.empty()) {
+      Add(token_scratch_, count);
+      token_scratch_.clear();
+    }
+  }
+  if (!token_scratch_.empty()) {
+    Add(token_scratch_, count);
+    token_scratch_.clear();
+  }
+}
+
+WordProfile WordProfileBuilder::Build() {
+  WordProfile profile;
+  profile.entries_.reserve(interner_->size());
+  for (GramId id = 0; id < interner_->size(); ++id) {
+    profile.entries_.push_back({std::string_view(interner_->value(id)),
+                                counts_[id]});
+  }
+  std::sort(profile.entries_.begin(), profile.entries_.end(),
+            [](const WordProfile::Entry& a, const WordProfile::Entry& b) {
+              return a.token < b.token;
+            });
+  profile.total_ = total_;
+  profile.interner_ = std::move(interner_);
+  // Reset for reuse: a fresh interner, empty counts.
+  interner_ = std::make_shared<TokenInterner>();
+  counts_.clear();
+  total_ = 0.0;
+  return profile;
+}
+
+namespace {
+
+template <typename Profile>
+double CosineImpl(const Profile& a, const Profile& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double denom = a.Norm() * b.Norm();
+  if (denom == 0.0) return 0.0;
+  return a.Dot(b) / denom;
+}
+
+template <typename Profile>
+double JaccardImpl(const Profile& a, const Profile& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t inter = a.IntersectionSize(b);
+  size_t uni = a.num_distinct() + b.num_distinct() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+template <typename Profile>
+double DiceImpl(const Profile& a, const Profile& b) {
+  size_t total = a.num_distinct() + b.num_distinct();
+  if (total == 0) return 0.0;
+  return 2.0 * static_cast<double>(a.IntersectionSize(b)) /
+         static_cast<double>(total);
+}
+
+template <typename Profile>
+double OverlapImpl(const Profile& a, const Profile& b) {
+  size_t smaller = std::min(a.num_distinct(), b.num_distinct());
+  if (smaller == 0) return 0.0;
+  return static_cast<double>(a.IntersectionSize(b)) /
+         static_cast<double>(smaller);
+}
+
+}  // namespace
+
+double CosineSimilarity(const GramProfile& a, const GramProfile& b) {
+  return CosineImpl(a, b);
+}
+double JaccardSimilarity(const GramProfile& a, const GramProfile& b) {
+  return JaccardImpl(a, b);
+}
+double DiceSimilarity(const GramProfile& a, const GramProfile& b) {
+  return DiceImpl(a, b);
+}
+double OverlapSimilarity(const GramProfile& a, const GramProfile& b) {
+  return OverlapImpl(a, b);
+}
+
+double CosineSimilarity(const WordProfile& a, const WordProfile& b) {
+  return CosineImpl(a, b);
+}
+double JaccardSimilarity(const WordProfile& a, const WordProfile& b) {
+  return JaccardImpl(a, b);
+}
+double DiceSimilarity(const WordProfile& a, const WordProfile& b) {
+  return DiceImpl(a, b);
+}
+double OverlapSimilarity(const WordProfile& a, const WordProfile& b) {
+  return OverlapImpl(a, b);
+}
+
+}  // namespace csm

@@ -11,7 +11,21 @@ void TfIdfCorpus::AddDocument(const TokenProfile& document) {
   }
 }
 
-double TfIdfCorpus::Idf(const std::string& token) const {
+void TfIdfCorpus::AddDocument(const WordProfile& document) {
+  ++num_documents_;
+  for (const WordProfile::Entry& e : document.entries()) {
+    // Heterogeneous find + insert-if-absent (no temporary std::string on
+    // the repeat path).
+    auto it = document_frequency_.find(e.token);
+    if (it == document_frequency_.end()) {
+      document_frequency_.emplace(std::string(e.token), 1);
+    } else {
+      ++it->second;
+    }
+  }
+}
+
+double TfIdfCorpus::Idf(std::string_view token) const {
   auto it = document_frequency_.find(token);
   const double df = it == document_frequency_.end()
                         ? 0.0
@@ -30,7 +44,67 @@ TokenProfile TfIdfCorpus::Weight(const TokenProfile& document) const {
 
 double TfIdfCorpus::WeightedCosine(const TokenProfile& a,
                                    const TokenProfile& b) const {
-  return CosineSimilarity(Weight(a), Weight(b));
+  // Evaluated inline (no materialized weighted profiles), term for term in
+  // the order CosineSimilarity(Weight(a), Weight(b)) used: norms iterate
+  // each map lexicographically, the dot iterates the smaller side and looks
+  // the token up in the larger (missing tokens contribute an explicit *0.0
+  // term, exactly as the weighted map's Count() did).
+  if (a.empty() || b.empty()) return 0.0;
+  auto weighted_norm = [this](const TokenProfile& p) {
+    double sum_sq = 0.0;
+    for (const auto& [token, count] : p.counts()) {
+      const double w = count * Idf(token);
+      sum_sq += w * w;
+    }
+    return std::sqrt(sum_sq);
+  };
+  const double denom = weighted_norm(a) * weighted_norm(b);
+  if (denom == 0.0) return 0.0;
+  const TokenProfile& small = a.num_distinct() <= b.num_distinct() ? a : b;
+  const TokenProfile& large = a.num_distinct() <= b.num_distinct() ? b : a;
+  double dot = 0.0;
+  for (const auto& [token, count] : small.counts()) {
+    auto it = large.counts().find(token);
+    const double wl = it == large.counts().end() ? 0.0
+                                                 : it->second * Idf(token);
+    dot += (count * Idf(token)) * wl;
+  }
+  return dot / denom;
+}
+
+double TfIdfCorpus::WeightedCosine(const WordProfile& a,
+                                   const WordProfile& b) const {
+  // Linear merge over the lex-sorted flat entries.  Bit-identical to the
+  // TokenProfile overload: norms accumulate in the same lexicographic
+  // order, and the dot's skipped non-intersection terms are exact +0.0
+  // no-ops because profile counts (and hence weights) are positive.
+  if (a.empty() || b.empty()) return 0.0;
+  auto weighted_norm = [this](const WordProfile& p) {
+    double sum_sq = 0.0;
+    for (const WordProfile::Entry& e : p.entries()) {
+      const double w = e.count * Idf(e.token);
+      sum_sq += w * w;
+    }
+    return std::sqrt(sum_sq);
+  };
+  const double denom = weighted_norm(a) * weighted_norm(b);
+  if (denom == 0.0) return 0.0;
+  double dot = 0.0;
+  auto ia = a.entries().begin();
+  auto ib = b.entries().begin();
+  while (ia != a.entries().end() && ib != b.entries().end()) {
+    if (ia->token < ib->token) {
+      ++ia;
+    } else if (ib->token < ia->token) {
+      ++ib;
+    } else {
+      const double idf = Idf(ia->token);
+      dot += (ia->count * idf) * (ib->count * idf);
+      ++ia;
+      ++ib;
+    }
+  }
+  return dot / denom;
 }
 
 }  // namespace csm

@@ -3,13 +3,22 @@
 // The TF-IDF matcher treats each attribute's value bag as a document; IDF
 // is computed over the set of documents registered with the corpus, and
 // similarity is the cosine of the TF-IDF-weighted vectors.
+//
+// Both profile representations are accepted: the map-based TokenProfile
+// (reference) and the flat WordProfile of the token kernel (gram.h).  The
+// weighted cosine is evaluated as a lexicographic merge without
+// materializing weighted profiles; because WordProfile entries are sorted
+// by token string, the weighted sums accumulate in the exact order the
+// map-based path used, so both overloads produce bit-identical scores.
 
 #ifndef CSM_TEXT_TFIDF_H_
 #define CSM_TEXT_TFIDF_H_
 
 #include <map>
 #include <string>
+#include <string_view>
 
+#include "text/gram.h"
 #include "text/profile.h"
 
 namespace csm {
@@ -21,21 +30,23 @@ class TfIdfCorpus {
 
   /// Registers a document (each distinct token counts once toward DF).
   void AddDocument(const TokenProfile& document);
+  void AddDocument(const WordProfile& document);
 
   size_t num_documents() const { return num_documents_; }
 
   /// Smoothed inverse document frequency:
   /// log((1 + N) / (1 + df)) + 1, so unseen tokens still get weight.
-  double Idf(const std::string& token) const;
+  double Idf(std::string_view token) const;
 
   /// Returns the profile re-weighted by TF-IDF (tf = raw count).
   TokenProfile Weight(const TokenProfile& document) const;
 
   /// Cosine similarity of the two documents' TF-IDF vectors.
   double WeightedCosine(const TokenProfile& a, const TokenProfile& b) const;
+  double WeightedCosine(const WordProfile& a, const WordProfile& b) const;
 
  private:
-  std::map<std::string, size_t> document_frequency_;
+  std::map<std::string, size_t, std::less<>> document_frequency_;
   size_t num_documents_ = 0;
 };
 

@@ -9,53 +9,90 @@ bool IsWordChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0;
 }
 
+/// Reuses the element strings of `*out` past `used` slots; grows otherwise.
+void EmitToken(std::vector<std::string>* out, size_t* used,
+               std::string_view token) {
+  if (*used < out->size()) {
+    (*out)[*used].assign(token.data(), token.size());
+  } else {
+    out->emplace_back(token);
+  }
+  ++*used;
+}
+
 }  // namespace
 
 std::string NormalizeText(std::string_view text) {
   std::string out;
-  out.reserve(text.size());
+  NormalizeText(text, &out);
+  return out;
+}
+
+void NormalizeText(std::string_view text, std::string* out) {
+  out->clear();
+  out->reserve(text.size());
   bool pending_space = false;
   for (char c : text) {
     if (IsWordChar(c)) {
-      if (pending_space && !out.empty()) out += ' ';
+      if (pending_space && !out->empty()) *out += ' ';
       pending_space = false;
-      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      *out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     } else {
       pending_space = true;
     }
   }
-  return out;
 }
 
 std::vector<std::string> WordTokens(std::string_view text) {
   std::vector<std::string> tokens;
+  WordTokens(text, &tokens);
+  return tokens;
+}
+
+void WordTokens(std::string_view text, std::vector<std::string>* out) {
+  size_t used = 0;
   std::string current;
   for (char c : text) {
     if (IsWordChar(c)) {
       current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
     } else if (!current.empty()) {
-      tokens.push_back(std::move(current));
+      EmitToken(out, &used, current);
       current.clear();
     }
   }
-  if (!current.empty()) tokens.push_back(std::move(current));
-  return tokens;
+  if (!current.empty()) EmitToken(out, &used, current);
+  out->resize(used);
 }
 
 std::vector<std::string> QGrams(std::string_view text, size_t q) {
   std::vector<std::string> grams;
-  if (q == 0) return grams;
+  QGrams(text, q, &grams);
+  return grams;
+}
+
+void QGrams(std::string_view text, size_t q, std::vector<std::string>* out) {
+  size_t used = 0;
+  if (q == 0) {
+    out->resize(used);
+    return;
+  }
   std::string normalized = NormalizeText(text);
-  if (normalized.empty()) return grams;
+  if (normalized.empty()) {
+    out->resize(used);
+    return;
+  }
   std::string padded(q - 1, '#');
   padded += normalized;
   padded.append(q - 1, '#');
-  if (padded.size() < q) return grams;
-  grams.reserve(padded.size() - q + 1);
-  for (size_t i = 0; i + q <= padded.size(); ++i) {
-    grams.push_back(padded.substr(i, q));
+  if (padded.size() < q) {
+    out->resize(used);
+    return;
   }
-  return grams;
+  out->reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    EmitToken(out, &used, std::string_view(padded).substr(i, q));
+  }
+  out->resize(used);
 }
 
 }  // namespace csm

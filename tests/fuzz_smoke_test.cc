@@ -57,6 +57,11 @@ TEST(FuzzSmokeTest, RowColumnarEquivalence) {
   EXPECT_TRUE(status.ok()) << status.ToString();
 }
 
+TEST(FuzzSmokeTest, TokenKernelEquivalence) {
+  const Status status = check::FuzzTokenKernelEquivalence(Options(150));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
 TEST(FuzzSmokeTest, DifferentialOracles) {
   const Status status = check::FuzzDifferential(Options(10));
   EXPECT_TRUE(status.ok()) << status.ToString();

@@ -92,6 +92,76 @@ TEST(NaiveBayesTest, DeterministicClassification) {
   }
 }
 
+TEST(NaiveBayesTest, CodedPathMatchesBoxedPath) {
+  StringDictionary dict;
+  const char* books[] = {"the silent river", "a winter garden",
+                         "the lost kingdom"};
+  const char* cds[] = {"velvet thunder", "neon wolves live", "cobalt drift"};
+  NaiveBayesClassifier boxed(3), coded(3);
+  for (const char* b : books) {
+    boxed.Train(Value::String(b), "book");
+    coded.TrainCoded(dict, dict.GetOrAdd(b), "book");
+  }
+  for (const char* c : cds) {
+    boxed.Train(Value::String(c), "cd");
+    coded.TrainCoded(dict, dict.GetOrAdd(c), "cd");
+  }
+  EXPECT_EQ(boxed.TrainingSize(), coded.TrainingSize());
+  const char* probes[] = {"the silent kingdom", "velvet drift", "qqq"};
+  for (const char* p : probes) {
+    const uint32_t code = dict.GetOrAdd(p);
+    EXPECT_EQ(coded.ClassifyCoded(dict, code), boxed.Classify(Value::String(p)));
+  }
+  EXPECT_EQ(coded.ClassifyCoded(dict, kNullCode), "");
+}
+
+TEST(NaiveBayesTest, ClassifyCodedMemoizesPerDistinctValue) {
+  StringDictionary dict;
+  NaiveBayesClassifier nb(3);
+  nb.TrainCoded(dict, dict.GetOrAdd("aaa"), "a");
+  nb.TrainCoded(dict, dict.GetOrAdd("zzz"), "z");
+  const uint32_t probe = dict.GetOrAdd("aab");
+  const std::string first = nb.ClassifyCoded(dict, probe);
+  const uint64_t hits_before =
+      GlobalTokenKernelStats().nb_memo_hits.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(nb.ClassifyCoded(dict, probe), first);
+  }
+  const uint64_t hits_after =
+      GlobalTokenKernelStats().nb_memo_hits.load(std::memory_order_relaxed);
+  EXPECT_GE(hits_after - hits_before, 10u);
+}
+
+TEST(NaiveBayesTest, TrainingAfterClassifyInvalidatesMemo) {
+  StringDictionary dict;
+  NaiveBayesClassifier nb(3);
+  const uint32_t aaa = dict.GetOrAdd("aaa");
+  const uint32_t probe = dict.GetOrAdd("aaz");
+  nb.TrainCoded(dict, aaa, "a");
+  EXPECT_EQ(nb.ClassifyCoded(dict, probe), "a");
+  // Flood a second label; the classifier must re-score, not replay the memo.
+  for (int i = 0; i < 20; ++i) {
+    nb.TrainCoded(dict, dict.GetOrAdd("aazq"), "z");
+  }
+  NaiveBayesClassifier fresh(3);
+  fresh.TrainCoded(dict, aaa, "a");
+  for (int i = 0; i < 20; ++i) {
+    fresh.TrainCoded(dict, dict.GetOrAdd("aazq"), "z");
+  }
+  EXPECT_EQ(nb.ClassifyCoded(dict, probe), fresh.ClassifyCoded(dict, probe));
+  EXPECT_EQ(nb.Classify(Value::String("aaz")), fresh.ClassifyCoded(dict, probe));
+}
+
+TEST(NaiveBayesTest, LargeQFallsBackToInternedWordGrams) {
+  // q > kMaxPackedGramQ routes through the TokenInterner fallback; the
+  // classifier contract is unchanged.
+  NaiveBayesClassifier nb(6);
+  nb.Train(Value::String("alpha beta gamma"), "greek");
+  nb.Train(Value::String("monday tuesday"), "days");
+  EXPECT_EQ(nb.Classify(Value::String("alpha gamma")), "greek");
+  EXPECT_EQ(nb.Classify(Value::String("monday")), "days");
+}
+
 // -------------------------------------------------------------- Gaussian
 
 GaussianClassifier TrainedGaussian(double sigma, Rng& rng) {

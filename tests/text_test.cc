@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "text/gram.h"
 #include "text/profile.h"
 #include "text/string_distance.h"
 #include "text/tfidf.h"
@@ -222,6 +224,114 @@ TEST(TfIdfTest, EmptyCorpusStillWorks) {
   d.AddAll({"a"});
   EXPECT_GT(corpus.Idf("a"), 0.0);
   EXPECT_NEAR(corpus.WeightedCosine(d, d), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------ Gram kernel
+
+TEST(GramKernelTest, PackUnpackRoundTrip) {
+  for (size_t q = 1; q <= kMaxPackedGramQ; ++q) {
+    for (const std::string text : {"hello", "a", "x9 z", "the end"}) {
+      for (const std::string& gram : QGrams(text, q)) {
+        EXPECT_EQ(UnpackGram(PackGram(gram), q), gram);
+      }
+    }
+  }
+}
+
+TEST(GramKernelTest, PackedOrderIsLexOrder) {
+  // Big-endian packing: numeric id order == lexicographic gram order for a
+  // fixed q (what lets sorted flat profiles replace the sorted map).
+  std::vector<std::string> grams = QGrams("schema matching", 3);
+  std::sort(grams.begin(), grams.end());
+  for (size_t g = 1; g < grams.size(); ++g) {
+    EXPECT_LE(PackGram(grams[g - 1]), PackGram(grams[g]));
+    if (grams[g - 1] != grams[g]) {
+      EXPECT_LT(PackGram(grams[g - 1]), PackGram(grams[g]));
+    }
+  }
+}
+
+TEST(GramKernelTest, AppendPackedMatchesStringGrams) {
+  std::string scratch;
+  for (size_t q = 1; q <= kMaxPackedGramQ; ++q) {
+    for (const std::string text :
+         {"", "!!!", "ab", "Hello, World", "caf\xc3\xa9 menu", "42.5"}) {
+      const std::vector<std::string> grams = QGrams(text, q);
+      std::vector<GramId> ids;
+      AppendPackedQGrams(text, q, &scratch, &ids);
+      ASSERT_EQ(ids.size(), grams.size()) << "q=" << q << " \"" << text << '"';
+      for (size_t g = 0; g < grams.size(); ++g) {
+        EXPECT_EQ(ids[g], PackGram(grams[g]));
+      }
+    }
+  }
+}
+
+TEST(GramKernelTest, EmptyAndSeparatorOnlyTextsProduceNoGrams) {
+  std::string scratch;
+  std::vector<GramId> ids;
+  AppendPackedQGrams("", 3, &scratch, &ids);
+  EXPECT_TRUE(ids.empty());
+  AppendPackedQGrams("?!,", 3, &scratch, &ids);
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST(GramKernelTest, MultiByteUtf8ActsAsSeparator) {
+  // NormalizeText maps bytes >= 0x80 to separators, so multi-byte UTF-8
+  // never reaches the packer and packed ids stay injective.
+  EXPECT_EQ(QGrams("caf\xc3\xa9", 3), QGrams("caf", 3));
+  std::string scratch;
+  std::vector<GramId> ids, ascii_ids;
+  AppendPackedQGrams("caf\xc3\xa9", 3, &scratch, &ids);
+  AppendPackedQGrams("caf", 3, &scratch, &ascii_ids);
+  EXPECT_EQ(ids, ascii_ids);
+}
+
+TEST(GramKernelTest, TokenInternerFirstSeenOrder) {
+  TokenInterner interner;
+  EXPECT_EQ(interner.GetOrAdd("beta"), 0u);
+  EXPECT_EQ(interner.GetOrAdd("alpha"), 1u);
+  EXPECT_EQ(interner.GetOrAdd("beta"), 0u);
+  EXPECT_EQ(interner.Find("alpha"), 1u);
+  EXPECT_EQ(interner.Find("gamma"), kNoGramId);
+  EXPECT_EQ(interner.value(0), "beta");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(GramKernelTest, FlatProfilesMatchMapProfiles) {
+  const std::vector<std::string> texts = {"the silent river", "a winter",
+                                          "the paper ocean", ""};
+  TokenProfile ref_q, ref_w;
+  GramProfileBuilder gram_builder;
+  WordProfileBuilder word_builder;
+  for (const std::string& text : texts) {
+    ref_q.AddAll(QGrams(text, 3));
+    ref_w.AddAll(WordTokens(text));
+    gram_builder.AddText(text, 3);
+    word_builder.AddText(text);
+  }
+  const GramProfile gp = gram_builder.Build();
+  const WordProfile wp = word_builder.Build();
+  EXPECT_EQ(gp.num_distinct(), ref_q.num_distinct());
+  EXPECT_EQ(gp.total(), ref_q.total());
+  EXPECT_EQ(gp.Norm(), ref_q.Norm());
+  EXPECT_EQ(gp.Dot(gp), ref_q.Dot(ref_q));
+  EXPECT_EQ(wp.num_distinct(), ref_w.num_distinct());
+  EXPECT_EQ(wp.total(), ref_w.total());
+  EXPECT_EQ(CosineSimilarity(gp, gp), CosineSimilarity(ref_q, ref_q));
+  EXPECT_EQ(DiceSimilarity(wp, wp), DiceSimilarity(ref_w, ref_w));
+}
+
+TEST(GramKernelTest, WeightedProfileCountsScale) {
+  // AddText(text, count) must equal adding the text `count` times.
+  GramProfileBuilder once_builder, scaled_builder;
+  for (int rep = 0; rep < 5; ++rep) once_builder.AddText("abc", 3);
+  scaled_builder.AddText("abc", 3, 5.0);
+  const GramProfile repeated = once_builder.Build();
+  const GramProfile scaled = scaled_builder.Build();
+  EXPECT_EQ(repeated.total(), scaled.total());
+  EXPECT_EQ(repeated.Norm(), scaled.Norm());
+  EXPECT_EQ(repeated.num_distinct(), scaled.num_distinct());
 }
 
 }  // namespace
